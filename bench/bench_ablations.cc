@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sensitivity ablations for the Table III design parameters. The
+ * paper reports that these values were fixed "empirically via
+ * sensitivity studies" without showing the sweeps ("for brevity");
+ * this bench regenerates them:
+ *
+ *   (a) hashed-history width (paper picks 8 bits),
+ *   (b) hint-buffer capacity (paper picks 32 entries),
+ *   (c) brhint placement look-behind window,
+ *   (d) number of candidate history lengths m (paper picks 16).
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+namespace
+{
+
+const std::vector<AppConfig> &
+ablationApps()
+{
+    static const std::vector<AppConfig> apps = {
+        appByName("mysql"), appByName("cassandra"),
+        appByName("python")};
+    return apps;
+}
+
+double
+averageReduction(const ExperimentConfig &cfg)
+{
+    RunningStat reduction;
+    for (const auto &app : ablationApps()) {
+        BranchProfile profile = profileApp(app, 0, cfg);
+        WhisperBuild build = trainWhisper(app, 0, profile, cfg);
+        auto baseline = makeTage(cfg.tageBudgetKB);
+        auto s0 = evalApp(app, 1, cfg, *baseline, cfg.evalWarmup);
+        auto wp = makeWhisperPredictor(cfg, build);
+        auto s1 = evalApp(app, 1, cfg, *wp, cfg.evalWarmup);
+        reduction.add(reductionPercent(s0, s1));
+    }
+    return reduction.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Design-parameter ablations (Table III)",
+           "Table III sensitivity studies (paper: 8-bit hash, "
+           "32-entry buffer, m=16)");
+
+    ExperimentConfig base = defaultConfig(0.6);
+
+    {
+        TableReporter t("(a) hashed-history width");
+        t.setHeader({"hash-bits", "avg-reduction-%"});
+        for (unsigned bits : {4u, 6u, 8u}) {
+            ExperimentConfig cfg = base;
+            cfg.whisper.hashWidth = bits;
+            t.addRow(std::to_string(bits), {averageReduction(cfg)});
+        }
+        t.print();
+    }
+    {
+        TableReporter t("(b) hint-buffer capacity");
+        t.setHeader({"entries", "avg-reduction-%"});
+        for (unsigned entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
+            ExperimentConfig cfg = base;
+            cfg.whisper.hintBufferEntries = entries;
+            t.addRow(std::to_string(entries),
+                     {averageReduction(cfg)});
+        }
+        t.print();
+    }
+    {
+        TableReporter t("(c) brhint placement window");
+        t.setHeader({"window", "avg-reduction-%"});
+        for (unsigned window : {4u, 8u, 16u, 32u}) {
+            ExperimentConfig cfg = base;
+            cfg.injector.window = window;
+            t.addRow(std::to_string(window),
+                     {averageReduction(cfg)});
+        }
+        t.print();
+    }
+    {
+        TableReporter t("(d) candidate history lengths (m)");
+        t.setHeader({"m", "avg-reduction-%"});
+        for (unsigned m : {4u, 8u, 16u}) {
+            ExperimentConfig cfg = base;
+            cfg.whisper.numHistoryLengths = m;
+            t.addRow(std::to_string(m), {averageReduction(cfg)});
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 1: limit study. IPC speedup of an ideal direction predictor
+ * over the 64KB TAGE-SC-L baseline, split into the part from
+ * eliminating misprediction (squash) stalls and the part from the
+ * frontend stalls FDIP can then hide.
+ *
+ * Paper result: 12.4% mean speedup (1.3%-26.4%), of which 7.9%
+ * from misprediction stalls and 4.5% from frontend stalls.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 1: ideal-direction-predictor limit study",
+           "Fig. 1 (12.4% mean IPC speedup: 7.9% mispredict-stall "
+           "+ 4.5% frontend-stall)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table("Fig. 1: speedup of ideal direction "
+                        "predictor over 64KB TAGE-SC-L (%)");
+    table.setHeader({"application", "total", "mispredict-stalls",
+                     "frontend-stalls"});
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        auto tage = makeTage(cfg.tageBudgetKB);
+        PipelineStats base = evalPipeline(app, 1, cfg, *tage);
+        IdealPredictor ideal;
+        PipelineStats best = evalPipeline(app, 1, cfg, ideal);
+
+        double total = speedupPercent(base.cycles(), best.cycles());
+        // Removing only the squash cycles isolates the
+        // misprediction-stall component; the remainder is frontend.
+        double mispredPart = speedupPercent(
+            base.cycles(), base.cycles() - base.squashCycles);
+        double frontendPart = total - mispredPart;
+
+        rows.push_back({total, mispredPart, frontendPart});
+        table.addRow(app.name, rows.back());
+    }
+    addAverageRow(table, rows);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig. 2: conditional-branch MPKI of the 64KB TAGE-SC-L baseline
+ * across the 12 data center applications.
+ *
+ * Paper result: 3.0 average (0.5-7.2), CBP-5 accounting
+ * (conditional branches only).
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 2: branch-MPKI of 64KB TAGE-SC-L",
+           "Fig. 2 (average 3.0, range 0.5-7.2)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table("Fig. 2: Br-MPKI, 64KB TAGE-SC-L");
+    table.setHeader({"application", "MPKI", "accuracy-%"});
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        auto tage = makeTage(cfg.tageBudgetKB);
+        auto stats = evalApp(app, 1, cfg, *tage, cfg.evalWarmup);
+        rows.push_back({stats.mpki(), 100.0 * stats.accuracy()});
+        table.addRow(app.name, rows.back());
+    }
+    addAverageRow(table, rows);
+    table.print();
+    return 0;
+}

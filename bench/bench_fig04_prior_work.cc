@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 4: misprediction reduction of the prior profile-guided
+ * techniques (4b/8b-ROMBF, 8KB/32KB/unlimited BranchNet) over the
+ * 64KB TAGE-SC-L baseline, trained on input #0 and tested on #1.
+ *
+ * Paper result: 3.4%-8.9% for the practical variants;
+ * unlimited-BranchNet reaches only 11.9%.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 4: prior profile-guided techniques",
+           "Fig. 4 (ROMBF 8.4-8.9%, BranchNet 3.4-6.6%, "
+           "unlimited-BranchNet 11.9%)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table(
+        "Fig. 4: misprediction reduction over 64KB TAGE-SC-L (%)");
+    table.setHeader({"application", "4b-ROMBF", "8b-ROMBF",
+                     "8KB-BranchNet", "32KB-BranchNet",
+                     "Unlimited-BranchNet"});
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        BranchNetSampleStore store;
+        BranchProfile profile = profileApp(app, 0, cfg, &store);
+
+        auto baseline = makeTage(cfg.tageBudgetKB);
+        auto s0 = evalApp(app, 1, cfg, *baseline, cfg.evalWarmup);
+
+        auto evalOne = [&](std::unique_ptr<BranchPredictor> p) {
+            auto s = evalApp(app, 1, cfg, *p, cfg.evalWarmup);
+            return reductionPercent(s0, s);
+        };
+
+        std::vector<double> row;
+        row.push_back(evalOne(makeRombfPredictor(4, profile, cfg)));
+        row.push_back(evalOne(makeRombfPredictor(8, profile, cfg)));
+        row.push_back(evalOne(
+            makeBranchNetPredictor(8 * 1024, profile, store, cfg)));
+        row.push_back(evalOne(
+            makeBranchNetPredictor(32 * 1024, profile, store, cfg)));
+        row.push_back(
+            evalOne(makeBranchNetPredictor(0, profile, store, cfg)));
+        rows.push_back(row);
+        table.addRow(app.name, row);
+    }
+    addAverageRow(table, rows);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 6: distribution of mispredictions over the history length a
+ * branch needs for accurate prediction (shortest candidate length
+ * whose per-hash-value oracle explains the branch).
+ *
+ * Paper result: most mispredicting branches need 32-1024 bits of
+ * history.
+ */
+
+#include "common.hh"
+
+#include "sim/analysis.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 6: mispredictions by required history length",
+           "Fig. 6 (correlations reach 32-1024 prior branches)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table(
+        "Fig. 6: % of hard-branch mispredictions by history-length "
+        "bucket");
+    std::vector<std::string> header = {"application"};
+    {
+        BucketHistogram probe({8, 16, 32, 64, 128, 256, 512, 1024});
+        for (size_t b = 0; b < probe.numBuckets(); ++b)
+            header.push_back(probe.bucketLabel(b));
+    }
+    table.setHeader(header);
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        BranchProfile profile = profileApp(app, 0, cfg);
+        auto hist = mispredictsByHistoryLength(profile);
+        std::vector<double> row;
+        for (size_t b = 0; b < hist.numBuckets(); ++b)
+            row.push_back(100.0 * hist.bucketFraction(b));
+        rows.push_back(row);
+        table.addRow(app.name, row, 1);
+    }
+    addAverageRow(table, rows, 1);
+    table.print();
+    return 0;
+}

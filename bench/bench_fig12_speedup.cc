@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 12: IPC speedup over the 64KB TAGE-SC-L baseline for every
+ * technique: ROMBF variants, BranchNet variants, Whisper, the
+ * MTAGE-SC "unlimited" reference, and the ideal direction
+ * predictor.
+ *
+ * Paper result: Whisper 2.8% average (0.4-4.6%), ROMBF 1.7%,
+ * BranchNet 0.8%, MTAGE-SC 6.3%, ideal 12.4%. Whisper reaches
+ * 44.1% of the unlimited MTAGE-SC speedup.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 12: IPC speedup over 64KB TAGE-SC-L",
+           "Fig. 12 (Whisper 2.8% avg, beats ROMBF 1.7% and "
+           "BranchNet 0.8%; MTAGE-SC 6.3%, ideal 12.4%)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table("Fig. 12: speedup (%)");
+    table.setHeader({"application", "4b-ROMBF", "8b-ROMBF",
+                     "8KB-BranchNet", "32KB-BranchNet",
+                     "Unl-BranchNet", "Whisper", "MTAGE-SC",
+                     "Ideal"});
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        BranchNetSampleStore store;
+        BranchProfile profile = profileApp(app, 0, cfg, &store);
+        WhisperBuild build = trainWhisper(app, 0, profile, cfg);
+
+        auto baseline = makeTage(cfg.tageBudgetKB);
+        PipelineStats base = evalPipeline(app, 1, cfg, *baseline);
+
+        auto speedupOf = [&](BranchPredictor &p) {
+            PipelineStats s = evalPipeline(app, 1, cfg, p);
+            return speedupPercent(base.cycles(), s.cycles());
+        };
+        auto speedupOwned =
+            [&](std::unique_ptr<BranchPredictor> p) {
+                return speedupOf(*p);
+            };
+
+        std::vector<double> row;
+        row.push_back(
+            speedupOwned(makeRombfPredictor(4, profile, cfg)));
+        row.push_back(
+            speedupOwned(makeRombfPredictor(8, profile, cfg)));
+        row.push_back(speedupOwned(
+            makeBranchNetPredictor(8 * 1024, profile, store, cfg)));
+        row.push_back(speedupOwned(
+            makeBranchNetPredictor(32 * 1024, profile, store, cfg)));
+        row.push_back(speedupOwned(
+            makeBranchNetPredictor(0, profile, store, cfg)));
+        row.push_back(speedupOwned(makeWhisperPredictor(cfg, build)));
+        row.push_back(speedupOwned(makeMtage(cfg)));
+        IdealPredictor ideal;
+        row.push_back(speedupOf(ideal));
+
+        rows.push_back(row);
+        table.addRow(app.name, row);
+    }
+    addAverageRow(table, rows);
+    table.print();
+
+    // Whisper's share of the unlimited-reference speedup.
+    double w = 0, m = 0;
+    for (const auto &r : rows) {
+        w += r[5];
+        m += r[6];
+    }
+    if (m > 0) {
+        std::printf("Whisper achieves %.1f%% of the MTAGE-SC "
+                    "speedup (paper: 44.1%%)\n",
+                    100.0 * w / m);
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 13: branch misprediction reduction over the 64KB TAGE-SC-L
+ * baseline for Whisper and the prior techniques (cross-input:
+ * trained on input #0, tested on input #1).
+ *
+ * Paper result: Whisper removes 16.8% of all mispredictions
+ * (1.7-32.4%), 7.9% more than the best practical prior technique,
+ * and 4.9% more than unlimited-BranchNet.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 13: misprediction reduction over 64KB TAGE-SC-L",
+           "Fig. 13 (Whisper 16.8% avg, range 1.7-32.4%)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table("Fig. 13: misprediction reduction (%)");
+    table.setHeader({"application", "4b-ROMBF", "8b-ROMBF",
+                     "8KB-BranchNet", "32KB-BranchNet",
+                     "Unl-BranchNet", "Whisper"});
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        BranchNetSampleStore store;
+        BranchProfile profile = profileApp(app, 0, cfg, &store);
+        WhisperBuild build = trainWhisper(app, 0, profile, cfg);
+
+        auto baseline = makeTage(cfg.tageBudgetKB);
+        auto s0 = evalApp(app, 1, cfg, *baseline, cfg.evalWarmup);
+
+        auto reductionOf = [&](std::unique_ptr<BranchPredictor> p) {
+            auto s = evalApp(app, 1, cfg, *p, cfg.evalWarmup);
+            return reductionPercent(s0, s);
+        };
+
+        std::vector<double> row;
+        row.push_back(
+            reductionOf(makeRombfPredictor(4, profile, cfg)));
+        row.push_back(
+            reductionOf(makeRombfPredictor(8, profile, cfg)));
+        row.push_back(reductionOf(
+            makeBranchNetPredictor(8 * 1024, profile, store, cfg)));
+        row.push_back(reductionOf(
+            makeBranchNetPredictor(32 * 1024, profile, store, cfg)));
+        row.push_back(reductionOf(
+            makeBranchNetPredictor(0, profile, store, cfg)));
+        row.push_back(
+            reductionOf(makeWhisperPredictor(cfg, build)));
+
+        rows.push_back(row);
+        table.addRow(app.name, row);
+    }
+    addAverageRow(table, rows);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 14: ablation of Whisper's two accuracy contributions over
+ * the 8b-ROMBF baseline: (1) hashed history correlation (variable
+ * lengths + hashing, formulas restricted to the classic AND/OR
+ * monotone set) and (2) the Implication / Converse Non-Implication
+ * operator extension (the full formula space).
+ *
+ * Paper result: hashed history correlation contributes 6.4%
+ * misprediction reduction over 8b-ROMBF; Impl/Cnimpl a further
+ * 1.5%.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 14: Whisper ablation over 8b-ROMBF",
+           "Fig. 14 (hashed-history +6.4%, Impl/Cnimpl +1.5%)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table(
+        "Fig. 14: misprediction reduction over 8b-ROMBF (%)");
+    table.setHeader({"application", "Hashed-history-correlation",
+                     "Implication-converse-nonimplication"});
+    std::vector<std::vector<double>> rows;
+
+    // Monotone candidate list shared across apps.
+    auto monotone = WhisperTrainer::monotoneCandidates();
+
+    for (const auto &app : dataCenterApps()) {
+        BranchProfile profile = profileApp(app, 0, cfg);
+
+        // Reference: the prior-work 8b-ROMBF hybrid.
+        auto rombf = makeRombfPredictor(8, profile, cfg);
+        auto sR = evalApp(app, 1, cfg, *rombf, cfg.evalWarmup);
+
+        // Variant 1: hashed history correlation only (monotone
+        // formulas over the hashed variable-length histories).
+        WhisperTrainer monoTrainer(cfg.whisper, globalTruthTables());
+        monoTrainer.setCandidateList(monotone);
+        WhisperBuild monoBuild =
+            trainWhisperWith(app, 0, profile, cfg, monoTrainer);
+        auto monoPred = makeWhisperPredictor(cfg, monoBuild);
+        auto sM = evalApp(app, 1, cfg, *monoPred, cfg.evalWarmup);
+
+        // Variant 2: full Whisper (adds Impl/Cnimpl + inversion).
+        WhisperBuild fullBuild = trainWhisper(app, 0, profile, cfg);
+        auto fullPred = makeWhisperPredictor(cfg, fullBuild);
+        auto sF = evalApp(app, 1, cfg, *fullPred, cfg.evalWarmup);
+
+        double hashedGain = reductionPercent(sR, sM);
+        double opGain = reductionPercent(sR, sF) - hashedGain;
+        rows.push_back({hashedGain, opGain});
+        table.addRow(app.name, rows.back());
+    }
+    addAverageRow(table, rows);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 15: randomized formula testing trade-off — misprediction
+ * reduction and offline training time as a function of the
+ * fraction of all 2^15 formulas explored.
+ *
+ * Paper result: at 0.1% of formulas Whisper keeps ~88.3% of the
+ * exhaustive-search misprediction reduction while training an
+ * order of magnitude faster.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 15: randomized formula testing sweep",
+           "Fig. 15 (0.1% of formulas ~ 88.3% of exhaustive "
+           "reduction, 10x+ faster)");
+
+    // Exhaustive search over all hard branches is expensive; cap
+    // the per-app hard set so the 100% point stays tractable.
+    ExperimentConfig cfg = defaultConfig();
+    cfg.profile.maxHardBranches = 256;
+    const std::vector<AppConfig> apps = {
+        appByName("mysql"), appByName("clang"),
+        appByName("cassandra")};
+    const double fractions[] = {0.001, 0.01, 0.1, 1.0};
+
+    TableReporter table("Fig. 15: reduction and training time vs "
+                        "% of formulas explored (top-256 hard "
+                        "branches, 3 apps)");
+    table.setHeader({"formulas-explored-%", "reduction-%",
+                     "train-seconds", "formulas-scored"});
+
+    for (double fraction : fractions) {
+        RunningStat reduction, seconds, scored;
+        for (const auto &app : apps) {
+            BranchProfile profile = profileApp(app, 0, cfg);
+            WhisperBuild build =
+                trainWhisper(app, 0, profile, cfg, fraction);
+
+            auto baseline = makeTage(cfg.tageBudgetKB);
+            auto s0 = evalApp(app, 1, cfg, *baseline, cfg.evalWarmup);
+            auto wp = makeWhisperPredictor(cfg, build);
+            auto s1 = evalApp(app, 1, cfg, *wp, cfg.evalWarmup);
+
+            reduction.add(reductionPercent(s0, s1));
+            seconds.add(build.stats.trainSeconds);
+            scored.add(static_cast<double>(build.stats.formulasScored));
+        }
+        table.addRow(TableReporter::formatDouble(100.0 * fraction, 1),
+                     {reduction.mean(), seconds.mean(),
+                      scored.mean()},
+                     3);
+    }
+    table.print();
+    return 0;
+}

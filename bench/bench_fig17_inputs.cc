@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 17: input sensitivity — misprediction reduction on test
+ * inputs #1-#3 when Whisper trains on the training input #0 versus
+ * on each test input's own profile.
+ *
+ * Paper result: input-specific profiles remove 6.6% more
+ * mispredictions on average.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 17: cross-input vs input-specific profiles",
+           "Fig. 17 (input-specific profiles +6.6% reduction)");
+
+    ExperimentConfig cfg = defaultConfig(0.7);
+    TableReporter table("Fig. 17: misprediction reduction (%), "
+                        "profile-from-#0 / profile-from-same-input");
+    table.setHeader({"application", "#1-cross", "#1-self",
+                     "#2-cross", "#2-self", "#3-cross", "#3-self"});
+    RunningStat crossAll, selfAll;
+
+    for (const auto &app : dataCenterApps()) {
+        BranchProfile trainProfile = profileApp(app, 0, cfg);
+        WhisperBuild crossBuild =
+            trainWhisper(app, 0, trainProfile, cfg);
+
+        std::vector<double> row;
+        for (uint32_t input : {1u, 2u, 3u}) {
+            auto baseline = makeTage(cfg.tageBudgetKB);
+            auto s0 =
+                evalApp(app, input, cfg, *baseline, cfg.evalWarmup);
+
+            auto crossPred = makeWhisperPredictor(cfg, crossBuild);
+            auto sC =
+                evalApp(app, input, cfg, *crossPred, cfg.evalWarmup);
+
+            BranchProfile selfProfile = profileApp(app, input, cfg);
+            WhisperBuild selfBuild =
+                trainWhisper(app, input, selfProfile, cfg);
+            auto selfPred = makeWhisperPredictor(cfg, selfBuild);
+            auto sS =
+                evalApp(app, input, cfg, *selfPred, cfg.evalWarmup);
+
+            double cross = reductionPercent(s0, sC);
+            double self = reductionPercent(s0, sS);
+            row.push_back(cross);
+            row.push_back(self);
+            crossAll.add(cross);
+            selfAll.add(self);
+        }
+        table.addRow(app.name, row, 1);
+    }
+    table.print();
+    std::printf("average: cross-input %.1f%%, input-specific %.1f%% "
+                "(paper gap: 6.6%%)\n",
+                crossAll.mean(), selfAll.mean());
+    return 0;
+}

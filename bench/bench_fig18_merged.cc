@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 18: merging profiles from multiple inputs. Average
+ * misprediction reduction of 8b-ROMBF, unlimited-BranchNet and
+ * Whisper when trained on profiles merged from 1-5 inputs and
+ * tested on an unseen input.
+ *
+ * Paper result: all techniques improve with merged profiles and
+ * Whisper stays ahead throughout.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 18: merged multi-input profiles",
+           "Fig. 18 (reduction grows with merged inputs; Whisper "
+           "leads)");
+
+    // Profile collection dominates this bench; use a subset of apps
+    // and a reduced trace scale.
+    ExperimentConfig cfg = defaultConfig(0.6);
+    const std::vector<AppConfig> apps = {
+        appByName("mysql"),     appByName("cassandra"),
+        appByName("mediawiki"), appByName("finagle-http"),
+        appByName("python"),    appByName("tomcat")};
+    const uint32_t testInput = 9;
+
+    TableReporter table("Fig. 18: average misprediction reduction "
+                        "(%) vs merged training inputs (6 apps, "
+                        "test input #9)");
+    table.setHeader({"inputs-merged", "8b-ROMBF",
+                     "Unlimited-BranchNet", "Whisper"});
+
+    for (unsigned numInputs = 1; numInputs <= 5; ++numInputs) {
+        RunningStat rombfRed, bnRed, whisperRed;
+        for (const auto &app : apps) {
+            BranchNetSampleStore store;
+            BranchProfile merged = profileApp(app, 1, cfg, &store);
+            for (uint32_t input = 2; input <= numInputs; ++input) {
+                BranchProfile extra = profileApp(app, input, cfg);
+                merged.mergeFrom(extra);
+            }
+            // Hints are placed on the first training input's trace.
+            WhisperBuild build = trainWhisper(app, 1, merged, cfg);
+
+            auto baseline = makeTage(cfg.tageBudgetKB);
+            auto s0 = evalApp(app, testInput, cfg, *baseline,
+                              cfg.evalWarmup);
+
+            auto rombf = makeRombfPredictor(8, merged, cfg);
+            auto sR = evalApp(app, testInput, cfg, *rombf,
+                              cfg.evalWarmup);
+            rombfRed.add(reductionPercent(s0, sR));
+
+            auto bn = makeBranchNetPredictor(0, merged, store, cfg);
+            auto sB =
+                evalApp(app, testInput, cfg, *bn, cfg.evalWarmup);
+            bnRed.add(reductionPercent(s0, sB));
+
+            auto wp = makeWhisperPredictor(cfg, build);
+            auto sW =
+                evalApp(app, testInput, cfg, *wp, cfg.evalWarmup);
+            whisperRed.add(reductionPercent(s0, sW));
+        }
+        table.addRow(std::to_string(numInputs) + "-inputs",
+                     {rombfRed.mean(), bnRed.mean(),
+                      whisperRed.mean()});
+    }
+    table.print();
+    return 0;
+}

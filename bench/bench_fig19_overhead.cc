@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 19: static and dynamic instruction overhead of the injected
+ * brhint instructions.
+ *
+ * Paper result: 11.4% static footprint increase (9.8-13%), 9.8%
+ * extra dynamic instructions (5.3-14.7%).
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 19: brhint instruction overhead",
+           "Fig. 19 (static 11.4% avg, dynamic 9.8% avg)");
+
+    ExperimentConfig cfg = defaultConfig();
+    TableReporter table("Fig. 19: instruction increase (%)");
+    table.setHeader({"application", "static", "dynamic", "hints"});
+    std::vector<std::vector<double>> rows;
+
+    for (const auto &app : dataCenterApps()) {
+        BranchProfile profile = profileApp(app, 0, cfg);
+        WhisperBuild build = trainWhisper(app, 0, profile, cfg);
+        rows.push_back(
+            {build.overhead.staticIncreasePct,
+             build.overhead.dynamicIncreasePct,
+             static_cast<double>(build.overhead.staticHints)});
+        table.addRow(app.name, rows.back());
+    }
+    addAverageRow(table, rows);
+    table.print();
+    return 0;
+}

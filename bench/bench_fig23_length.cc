@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 23: sensitivity to the number of simulated instructions —
+ * the test-trace length sweeps over an order of magnitude with a
+ * fixed Whisper build.
+ *
+ * Paper result: the reduction stays near the headline (14.7% at
+ * 1B instructions vs 16.8% at 100M).
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Fig. 23: simulated-instruction-count sensitivity",
+           "Fig. 23 (reduction stable over a 10x longer trace)");
+
+    ExperimentConfig cfg = defaultConfig();
+    const std::vector<AppConfig> apps = {
+        appByName("mysql"), appByName("cassandra"),
+        appByName("python"), appByName("finagle-http")};
+
+    struct Prepared
+    {
+        const AppConfig *app;
+        WhisperBuild build;
+    };
+    std::vector<Prepared> prepared;
+    for (const auto &app : apps) {
+        BranchProfile profile = profileApp(app, 0, cfg);
+        prepared.push_back(
+            {&app, trainWhisper(app, 0, profile, cfg)});
+    }
+
+    TableReporter table("Fig. 23: average misprediction reduction "
+                        "(%) vs test-trace length (4 apps)");
+    table.setHeader({"records", "instructions-M", "reduction-%"});
+
+    uint64_t baseLen = cfg.testRecords / 2;
+    for (double mult : {1.0, 2.0, 4.0, 7.0, 10.0}) {
+        ExperimentConfig run = cfg;
+        run.testRecords = static_cast<uint64_t>(baseLen * mult);
+        RunningStat reduction, instructions;
+        for (const auto &p : prepared) {
+            auto baseline = makeTage(run.tageBudgetKB);
+            auto s0 =
+                evalApp(*p.app, 1, run, *baseline, run.evalWarmup);
+            auto wp = makeWhisperPredictor(run, p.build);
+            auto s1 = evalApp(*p.app, 1, run, *wp, run.evalWarmup);
+            reduction.add(reductionPercent(s0, s1));
+            instructions.add(
+                (s0.instructions + s0.warmupInstructions) / 1e6);
+        }
+        table.addRow(std::to_string(run.testRecords),
+                     {instructions.mean(), reduction.mean()});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces the parameter tables: Table I (applications and
+ * workloads), Table II (simulator parameters), and Table III
+ * (Whisper design parameters) from the library's actual defaults.
+ */
+
+#include "common.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    banner("Tables I-III: configuration",
+           "Table I (apps), Table II (simulator), Table III "
+           "(Whisper design parameters)");
+
+    {
+        TableReporter t("Table I: data center applications (models)");
+        t.setHeader({"application", "regions", "request-types",
+                     "static-branches", "type-skew"});
+        for (const auto &app : dataCenterApps()) {
+            AppWorkload wl(app, 0, 1);
+            t.addRow({app.name, std::to_string(app.numRegions),
+                      std::to_string(app.numRequestTypes),
+                      std::to_string(wl.staticBranches()),
+                      TableReporter::formatDouble(app.zipfTheta)});
+        }
+        t.print();
+    }
+
+    {
+        ExperimentConfig cfg;
+        const PipelineConfig &p = cfg.pipeline;
+        TageScl tage(TageSclConfig::forBudgetKB(cfg.tageBudgetKB));
+        TableReporter t("Table II: simulator parameters");
+        t.setHeader({"parameter", "value"});
+        t.addRow({"fetch width", std::to_string(p.fetchWidth)});
+        t.addRow({"FTQ entries", std::to_string(p.ftqEntries)});
+        t.addRow({"ROB entries", std::to_string(p.robEntries)});
+        t.addRow({"mispredict penalty",
+                  std::to_string(p.mispredictPenalty) + " cycles"});
+        t.addRow({"BTB", std::to_string(p.btbEntries) + " x " +
+                             std::to_string(p.btbWays) + "-way"});
+        t.addRow({"branch predictor", tage.name()});
+        t.addRow({"L1i", "32KB 8-way"});
+        t.addRow({"L2", "1MB 16-way"});
+        t.addRow({"L3", "10MB 20-way"});
+        t.print();
+    }
+
+    {
+        WhisperConfig w;
+        TableReporter t("Table III: Whisper design parameters");
+        t.setHeader({"parameter", "value"});
+        t.addRow({"minimum history length (a)",
+                  std::to_string(w.minHistoryLength)});
+        t.addRow({"maximum history length (N)",
+                  std::to_string(w.maxHistoryLength)});
+        t.addRow({"different history lengths (m)",
+                  std::to_string(w.numHistoryLengths)});
+        t.addRow({"hashed history length",
+                  std::to_string(w.hashWidth)});
+        t.addRow({"logical operations used", "4"});
+        t.addRow({"hint buffer size",
+                  std::to_string(w.hintBufferEntries)});
+        t.addRow({"formulas explored",
+                  TableReporter::formatDouble(
+                      100.0 * w.formulaFraction, 1) + "%"});
+        t.print();
+
+        auto lengths = geometricLengths(w);
+        std::string series;
+        for (unsigned l : lengths)
+            series += std::to_string(l) + " ";
+        std::printf("geometric length series: %s\n", series.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * End-to-end data center study: the scenario the paper's intro
+ * motivates. For a set of server workloads, measure how much IPC a
+ * better branch predictor buys on the decoupled-frontend pipeline
+ * model — comparing the deployed 64KB TAGE-SC-L, Whisper on top of
+ * it, an unlimited MTAGE-SC, and the ideal direction predictor —
+ * and where the cycles go (squash vs frontend stalls).
+ *
+ * Usage: datacenter_study [records] [app ...]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bp/simple_predictors.hh"
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace whisper;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    if (argc > 1) {
+        cfg.trainRecords = std::strtoull(argv[1], nullptr, 10);
+        cfg.testRecords = cfg.trainRecords;
+    }
+    std::vector<std::string> names;
+    for (int i = 2; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = {"mysql", "finagle-http", "python"};
+
+    TableReporter table("data center study: IPC and stall anatomy "
+                        "(test input #1)");
+    table.setHeader({"app+predictor", "IPC", "speedup-%", "MPKI",
+                     "squash-cyc-%", "frontend-cyc-%"});
+
+    for (const auto &name : names) {
+        const AppConfig &app = appByName(name);
+        std::cout << "profiling + training Whisper on '" << name
+                  << "'...\n";
+        BranchProfile profile = profileApp(app, 0, cfg);
+        WhisperBuild build = trainWhisper(app, 0, profile, cfg);
+
+        auto addRow = [&](const std::string &label,
+                          const PipelineStats &s, double baseCycles) {
+            table.addRow(
+                {name + "/" + label,
+                 TableReporter::formatDouble(s.ipc()),
+                 TableReporter::formatDouble(
+                     speedupPercent(baseCycles, s.cycles())),
+                 TableReporter::formatDouble(s.mpki()),
+                 TableReporter::formatDouble(
+                     100.0 * s.squashCycles / s.cycles()),
+                 TableReporter::formatDouble(
+                     100.0 * s.frontendStallCycles / s.cycles())});
+        };
+
+        auto tage = makeTage(cfg.tageBudgetKB);
+        PipelineStats base = evalPipeline(app, 1, cfg, *tage);
+        addRow("tage-64KB", base, base.cycles());
+
+        auto wp = makeWhisperPredictor(cfg, build);
+        addRow("whisper", evalPipeline(app, 1, cfg, *wp),
+               base.cycles());
+
+        auto mtage = makeMtage(cfg);
+        addRow("mtage-sc", evalPipeline(app, 1, cfg, *mtage),
+               base.cycles());
+
+        IdealPredictor ideal;
+        addRow("ideal", evalPipeline(app, 1, cfg, ideal),
+               base.cycles());
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,109 @@
+#include "bp/perceptron.hh"
+
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+PerceptronPredictor::PerceptronPredictor()
+    : PerceptronPredictor(Config{})
+{
+}
+
+PerceptronPredictor::PerceptronPredictor(const Config &cfg)
+    : cfg_(cfg),
+      weightMin_(-(1 << (cfg.weightBits - 1))),
+      weightMax_((1 << (cfg.weightBits - 1)) - 1),
+      weights_(cfg.numTables,
+               std::vector<int16_t>(1ULL << cfg.log2Entries, 0)),
+      bias_(1ULL << cfg.log2Entries, 0)
+{
+    whisper_assert(cfg.numTables >= 1 && cfg.segmentBits >= 1);
+    unsigned totalHist = cfg.numTables * cfg.segmentBits;
+    history_.assign((totalHist + 63) / 64, 0);
+    threshold_ = cfg.threshold > 0
+        ? cfg.threshold
+        : static_cast<int>(1.93 * totalHist + 14) / 8;
+}
+
+size_t
+PerceptronPredictor::tableIndex(unsigned t, uint64_t pc) const
+{
+    // Extract segment t of the packed history.
+    unsigned lo = t * cfg_.segmentBits;
+    uint64_t seg = 0;
+    for (unsigned b = 0; b < cfg_.segmentBits; ++b) {
+        unsigned bitPos = lo + b;
+        uint64_t bit = (history_[bitPos / 64] >> (bitPos % 64)) & 1;
+        seg |= bit << b;
+    }
+    uint64_t idx = pcIndexBits(pc) ^ mix64(seg + t * 0x9e37ULL);
+    return idx & ((1ULL << cfg_.log2Entries) - 1);
+}
+
+int
+PerceptronPredictor::computeSum(uint64_t pc) const
+{
+    int sum = bias_[pcIndexBits(pc) & ((1ULL << cfg_.log2Entries) - 1)];
+    for (unsigned t = 0; t < cfg_.numTables; ++t)
+        sum += weights_[t][tableIndex(t, pc)];
+    return sum;
+}
+
+bool
+PerceptronPredictor::predict(uint64_t pc, bool)
+{
+    lastSum_ = computeSum(pc);
+    return lastSum_ >= 0;
+}
+
+void
+PerceptronPredictor::update(uint64_t pc, bool taken, bool predicted,
+                            bool)
+{
+    int sum = computeSum(pc);
+    bool needTrain = (predicted != taken) ||
+                     std::abs(sum) <= threshold_;
+    if (needTrain) {
+        auto adjust = [&](int16_t &w) {
+            int v = w + (taken ? 1 : -1);
+            if (v < weightMin_)
+                v = weightMin_;
+            if (v > weightMax_)
+                v = weightMax_;
+            w = static_cast<int16_t>(v);
+        };
+        adjust(bias_[pcIndexBits(pc) & ((1ULL << cfg_.log2Entries) - 1)]);
+        for (unsigned t = 0; t < cfg_.numTables; ++t)
+            adjust(weights_[t][tableIndex(t, pc)]);
+    }
+
+    // Shift the packed history left by one, inserting the outcome.
+    uint64_t carry = taken ? 1 : 0;
+    for (auto &word : history_) {
+        uint64_t newCarry = word >> 63;
+        word = (word << 1) | carry;
+        carry = newCarry;
+    }
+}
+
+void
+PerceptronPredictor::reset()
+{
+    for (auto &t : weights_)
+        std::fill(t.begin(), t.end(), 0);
+    std::fill(bias_.begin(), bias_.end(), 0);
+    std::fill(history_.begin(), history_.end(), 0);
+}
+
+uint64_t
+PerceptronPredictor::storageBits() const
+{
+    uint64_t entries = (1ULL << cfg_.log2Entries);
+    return (cfg_.numTables + 1) * entries * cfg_.weightBits;
+}
+
+} // namespace whisper

@@ -1,0 +1,119 @@
+#include "branchnet/branchnet_model.hh"
+
+#include <cmath>
+
+#include "util/bits.hh"
+
+namespace whisper
+{
+
+uint8_t
+branchNetToken(uint64_t pc, bool taken)
+{
+    // 6 hashed PC bits + the direction bit = 7-bit vocabulary.
+    uint8_t pcHash = static_cast<uint8_t>(mix64(pc) & 0x3F);
+    return static_cast<uint8_t>((pcHash << 1) |
+                                static_cast<uint8_t>(taken));
+}
+
+BranchNetModel::BranchNetModel(uint64_t seed)
+    : embedding_(BranchNetGeometry::kVocab *
+                     BranchNetGeometry::kChannels,
+                 0.0f),
+      fc_(BranchNetGeometry::kFeatures, 0.0f)
+{
+    Rng rng(seed);
+    for (auto &w : embedding_)
+        w = static_cast<float>(rng.nextGaussian(0.05));
+    for (auto &w : fc_)
+        w = static_cast<float>(rng.nextGaussian(0.05));
+}
+
+double
+BranchNetModel::forward(
+    const std::array<uint8_t, BranchNetGeometry::kHistory> &tokens)
+    const
+{
+    constexpr unsigned C = BranchNetGeometry::kChannels;
+    constexpr unsigned P = BranchNetGeometry::kPools;
+    constexpr unsigned L = BranchNetGeometry::kPoolLen;
+
+    double logit = bias_;
+    for (unsigned p = 0; p < P; ++p) {
+        float pooled[C] = {};
+        for (unsigned i = 0; i < L; ++i) {
+            const float *emb =
+                &embedding_[tokens[p * L + i] * C];
+            for (unsigned c = 0; c < C; ++c)
+                pooled[c] += emb[c];
+        }
+        for (unsigned c = 0; c < C; ++c)
+            logit += fc_[p * C + c] * pooled[c];
+    }
+    return 1.0 / (1.0 + std::exp(-logit));
+}
+
+double
+BranchNetModel::trainStep(const BranchNetSample &sample, double lr)
+{
+    constexpr unsigned C = BranchNetGeometry::kChannels;
+    constexpr unsigned P = BranchNetGeometry::kPools;
+    constexpr unsigned L = BranchNetGeometry::kPoolLen;
+
+    // Forward pass, keeping the pooled activations.
+    float pooled[BranchNetGeometry::kFeatures] = {};
+    for (unsigned p = 0; p < P; ++p) {
+        for (unsigned i = 0; i < L; ++i) {
+            const float *emb =
+                &embedding_[sample.tokens[p * L + i] * C];
+            for (unsigned c = 0; c < C; ++c)
+                pooled[p * C + c] += emb[c];
+        }
+    }
+    double logit = bias_;
+    for (unsigned f = 0; f < BranchNetGeometry::kFeatures; ++f)
+        logit += fc_[f] * pooled[f];
+    double prob = 1.0 / (1.0 + std::exp(-logit));
+    double y = sample.taken ? 1.0 : 0.0;
+    double loss = -(y * std::log(prob + 1e-12) +
+                    (1 - y) * std::log(1 - prob + 1e-12));
+
+    // Backward: dL/dlogit = prob - y.
+    float g = static_cast<float>((prob - y) * lr);
+    bias_ -= g;
+    for (unsigned f = 0; f < BranchNetGeometry::kFeatures; ++f) {
+        float fcOld = fc_[f];
+        fc_[f] -= g * pooled[f];
+        // Embedding gradient flows through the (frozen-this-step)
+        // FC weight of the token's pool.
+        pooled[f] = fcOld; // reuse storage: pooled now holds fc old
+    }
+    for (unsigned p = 0; p < P; ++p) {
+        for (unsigned i = 0; i < L; ++i) {
+            float *emb = &embedding_[sample.tokens[p * L + i] * C];
+            for (unsigned c = 0; c < C; ++c)
+                emb[c] -= g * pooled[p * C + c];
+        }
+    }
+    return loss;
+}
+
+double
+BranchNetModel::train(const std::vector<BranchNetSample> &samples,
+                      unsigned epochs, double lr)
+{
+    if (samples.empty())
+        return 0.0;
+    for (unsigned e = 0; e < epochs; ++e) {
+        double decayed = lr / (1.0 + 0.5 * e);
+        for (const auto &s : samples)
+            trainStep(s, decayed);
+    }
+    uint64_t correct = 0;
+    for (const auto &s : samples)
+        if (predict(s.tokens) == s.taken)
+            ++correct;
+    return static_cast<double>(correct) / samples.size();
+}
+
+} // namespace whisper

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-branch convolutional model (BranchNet baseline [35]).
+ *
+ * BranchNet trains one CNN per hard-to-predict branch on (PC,
+ * direction) history. We reproduce its architecture at reduced
+ * scale: an embedding of 7-bit history tokens (1x1 convolution over
+ * the one-hot encoding), sum pooling over fixed windows, and a
+ * fully-connected sigmoid output, trained with SGD on logistic
+ * loss. Each model quantizes to roughly 1KB of metadata, matching
+ * the paper's 256B-2KB per-branch storage figures.
+ */
+
+#ifndef WHISPER_BRANCHNET_BRANCHNET_MODEL_HH
+#define WHISPER_BRANCHNET_BRANCHNET_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace whisper
+{
+
+/** Fixed geometry of the mini CNN. */
+struct BranchNetGeometry
+{
+    static constexpr unsigned kHistory = 64;   //!< tokens of history
+    static constexpr unsigned kVocab = 128;    //!< 7-bit tokens
+    static constexpr unsigned kChannels = 8;   //!< embedding width
+    static constexpr unsigned kPools = 4;      //!< pooling windows
+    static constexpr unsigned kPoolLen = kHistory / kPools;
+    static constexpr unsigned kFeatures = kPools * kChannels;
+
+    /** Metadata bytes of one int8-quantized deployed model. */
+    static constexpr uint64_t
+    modelBytes()
+    {
+        return kVocab * kChannels + kFeatures + 1;
+    }
+};
+
+/** Token for a resolved conditional branch in the history. */
+uint8_t branchNetToken(uint64_t pc, bool taken);
+
+/** One (history, outcome) training sample. */
+struct BranchNetSample
+{
+    std::array<uint8_t, BranchNetGeometry::kHistory> tokens;
+    bool taken = false;
+};
+
+/** The per-branch model. */
+class BranchNetModel
+{
+  public:
+    explicit BranchNetModel(uint64_t seed = 1);
+
+    /** Probability the branch is taken given the token history. */
+    double forward(
+        const std::array<uint8_t, BranchNetGeometry::kHistory>
+            &tokens) const;
+
+    bool
+    predict(const std::array<uint8_t, BranchNetGeometry::kHistory>
+                &tokens) const
+    {
+        return forward(tokens) >= 0.5;
+    }
+
+    /** One SGD step on logistic loss; returns the pre-step loss. */
+    double trainStep(const BranchNetSample &sample, double lr);
+
+    /**
+     * Train for @p epochs passes over @p samples.
+     * @return final training accuracy
+     */
+    double train(const std::vector<BranchNetSample> &samples,
+                 unsigned epochs, double lr);
+
+  private:
+    std::vector<float> embedding_; //!< kVocab x kChannels
+    std::vector<float> fc_;        //!< kFeatures
+    float bias_ = 0.0f;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_BRANCHNET_BRANCHNET_MODEL_HH

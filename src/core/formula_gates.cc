@@ -1,0 +1,128 @@
+#include "core/formula_gates.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+FormulaNetlist::FormulaNetlist(const BoolFormula &formula)
+    : formula_(formula), numInputs_(formula.numInputs())
+{
+    // Net indices: [0, numInputs) are the hashed-history bits;
+    // gate i produces net numInputs_ + i.
+    std::vector<int> layer(numInputs_);
+    for (unsigned i = 0; i < numInputs_; ++i)
+        layer[i] = static_cast<int>(i);
+
+    unsigned node = 0;
+    unsigned width = numInputs_;
+    while (width > 1) {
+        for (unsigned i = 0; i < width / 2; ++i) {
+            layer[i] =
+                emitSingleUnit(node, layer[2 * i], layer[2 * i + 1]);
+            ++node;
+        }
+        width /= 2;
+    }
+
+    // Fig. 9's final stage: 2:1 mux between the tree output and its
+    // inversion, selected by the encoding's inversion bit.
+    int inverted = emit(GateKind::Not, layer[0]);
+    int sel = emitConst(formula.inverted());
+    output_ = emitMux2(sel, layer[0], inverted);
+}
+
+int
+FormulaNetlist::emit(GateKind kind, int a, int b)
+{
+    gates_.push_back(Gate{kind, a, b, false});
+    return static_cast<int>(numInputs_ + gates_.size() - 1);
+}
+
+int
+FormulaNetlist::emitConst(bool value)
+{
+    gates_.push_back(Gate{GateKind::Const, -1, -1, value});
+    return static_cast<int>(numInputs_ + gates_.size() - 1);
+}
+
+int
+FormulaNetlist::emitMux2(int sel, int d0, int d1)
+{
+    int nsel = emit(GateKind::Not, sel);
+    int lo = emit(GateKind::And, nsel, d0);
+    int hi = emit(GateKind::And, sel, d1);
+    return emit(GateKind::Or, lo, hi);
+}
+
+int
+FormulaNetlist::emitSingleUnit(unsigned node, int a, int b)
+{
+    // The four operation outputs of Fig. 8...
+    int notA = emit(GateKind::Not, a);
+    int andOut = emit(GateKind::And, a, b);
+    int orOut = emit(GateKind::Or, a, b);
+    int implOut = emit(GateKind::Or, notA, b);
+    int cnimplOut = emit(GateKind::And, notA, b);
+
+    // ...selected by a 4:1 mux on the encoding's two op bits. The
+    // op bits are constants per deployed hint (they come from the
+    // brhint immediate).
+    unsigned op = static_cast<unsigned>(formula_.nodeOp(node));
+    int o0 = emitConst(op & 1);
+    int o1 = emitConst((op >> 1) & 1);
+    int lo = emitMux2(o0, andOut, orOut);
+    int hi = emitMux2(o0, implOut, cnimplOut);
+    return emitMux2(o1, lo, hi);
+}
+
+bool
+FormulaNetlist::evaluate(uint8_t inputs) const
+{
+    std::vector<uint8_t> nets(numInputs_ + gates_.size());
+    for (unsigned i = 0; i < numInputs_; ++i)
+        nets[i] = (inputs >> i) & 1;
+    for (size_t g = 0; g < gates_.size(); ++g) {
+        const Gate &gate = gates_[g];
+        uint8_t v = 0;
+        switch (gate.kind) {
+          case GateKind::Const:
+            v = gate.constValue;
+            break;
+          case GateKind::Not:
+            v = !nets[gate.a];
+            break;
+          case GateKind::And:
+            v = nets[gate.a] && nets[gate.b];
+            break;
+          case GateKind::Or:
+            v = nets[gate.a] || nets[gate.b];
+            break;
+        }
+        nets[numInputs_ + g] = v;
+    }
+    return nets[output_];
+}
+
+unsigned
+FormulaNetlist::criticalPathDelay() const
+{
+    // Constants are settled long before evaluation (they decode with
+    // the hint), so they contribute no delay.
+    std::vector<unsigned> depth(numInputs_ + gates_.size(), 0);
+    for (size_t g = 0; g < gates_.size(); ++g) {
+        const Gate &gate = gates_[g];
+        unsigned d = 0;
+        if (gate.kind != GateKind::Const) {
+            d = depth[gate.a] + 1;
+            if (gate.b >= 0)
+                d = std::max(d, depth[gate.b] + 1);
+        }
+        depth[numInputs_ + g] = d;
+    }
+    return depth[output_];
+}
+
+} // namespace whisper

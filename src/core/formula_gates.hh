@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Gate-level model of Whisper's formula-evaluation hardware
+ * (paper Figs. 8 and 9).
+ *
+ * BoolFormula::evaluate() is the behavioural model; this class
+ * builds the actual netlist — NOT/AND/OR primitives composing each
+ * "single unit" (the four operations plus a 4-to-1 operation mux)
+ * and the final 2-to-1 inversion mux — and evaluates it gate by
+ * gate. It exists to validate the micro-architectural claims: the
+ * netlist must compute exactly the same function as the behavioural
+ * model for every encoding, and its critical path must stay within
+ * the paper's 19-gate-delay bound (SIII-C) up to the primitive-
+ * decomposition factor.
+ */
+
+#ifndef WHISPER_CORE_FORMULA_GATES_HH
+#define WHISPER_CORE_FORMULA_GATES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/formula.hh"
+
+namespace whisper
+{
+
+/** A synthesized evaluation network for one formula. */
+class FormulaNetlist
+{
+  public:
+    explicit FormulaNetlist(const BoolFormula &formula);
+
+    /** Evaluate gate-by-gate on packed inputs. */
+    bool evaluate(uint8_t inputs) const;
+
+    /** Primitive gates (NOT/AND/OR) in the network. */
+    size_t gateCount() const { return gates_.size(); }
+
+    /** Longest input-to-output path, in primitive gate delays. */
+    unsigned criticalPathDelay() const;
+
+    const BoolFormula &formula() const { return formula_; }
+
+  private:
+    enum class GateKind : uint8_t { Not, And, Or, Const };
+
+    struct Gate
+    {
+        GateKind kind;
+        int a = -1; //!< net index (< numInputs: primary input)
+        int b = -1;
+        bool constValue = false;
+    };
+
+    /** Append a gate; returns its net index. */
+    int emit(GateKind kind, int a, int b = -1);
+    int emitConst(bool value);
+    /** 2:1 mux from primitives: sel ? d1 : d0. */
+    int emitMux2(int sel, int d0, int d1);
+    /** One Fig. 8 single unit for tree node @p node. */
+    int emitSingleUnit(unsigned node, int a, int b);
+
+    BoolFormula formula_;
+    unsigned numInputs_;
+    std::vector<Gate> gates_; //!< topological order
+    int output_ = -1;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_CORE_FORMULA_GATES_HH

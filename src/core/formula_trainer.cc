@@ -1,0 +1,94 @@
+#include "core/formula_trainer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace whisper
+{
+
+TruthTableCache::TruthTableCache(unsigned numInputs)
+    : numInputs_(numInputs)
+{
+    uint32_t count = BoolFormula::encodingCount(numInputs);
+    tables_.resize(count);
+    for (uint32_t enc = 0; enc < count; ++enc) {
+        tables_[enc] =
+            BoolFormula(static_cast<uint16_t>(enc), numInputs)
+                .truthTable();
+    }
+}
+
+const TruthTable &
+TruthTableCache::table(uint16_t encoding) const
+{
+    whisper_assert(encoding < tables_.size());
+    return tables_[encoding];
+}
+
+FormulaCandidates::FormulaCandidates(unsigned numInputs,
+                                     double fraction, uint64_t seed)
+    : numInputs_(numInputs), fraction_(fraction)
+{
+    whisper_assert(fraction > 0.0 && fraction <= 1.0,
+                   "fraction=", fraction);
+    uint32_t count = BoolFormula::encodingCount(numInputs);
+    permutation_.resize(count);
+    for (uint32_t i = 0; i < count; ++i)
+        permutation_[i] = static_cast<uint16_t>(i);
+    Rng rng(seed);
+    rng.shuffle(permutation_);
+    selected_ = withFraction(fraction);
+}
+
+std::vector<uint16_t>
+FormulaCandidates::withFraction(double fraction) const
+{
+    whisper_assert(fraction > 0.0 && fraction <= 1.0);
+    size_t n = static_cast<size_t>(fraction * permutation_.size());
+    n = std::max<size_t>(n, 1);
+    n = std::min(n, permutation_.size());
+    return {permutation_.begin(),
+            permutation_.begin() + static_cast<long>(n)};
+}
+
+uint64_t
+scoreFormula(const TruthTable &tt, const HashedSampleTable &samples,
+             uint64_t earlyOut)
+{
+    // Mispredictions = taken samples the formula calls not-taken plus
+    // not-taken samples it calls taken (Algorithm 1 lines 5-11).
+    uint64_t t = 0;
+    size_t keys = samples.taken.size();
+    for (size_t k = 0; k < keys; ++k) {
+        bool sat = (tt[k / 64] >> (k % 64)) & 1;
+        t += sat ? samples.notTaken[k] : samples.taken[k];
+        if (t > earlyOut)
+            return t;
+    }
+    return t;
+}
+
+FormulaSearchResult
+findBooleanFormula(const HashedSampleTable &samples,
+                   const std::vector<uint16_t> &candidates,
+                   const TruthTableCache &cache)
+{
+    FormulaSearchResult best;
+    for (uint16_t enc : candidates) {
+        uint64_t t = scoreFormula(cache.table(enc), samples,
+                                  best.mispredicts);
+        ++best.explored;
+        if (t < best.mispredicts) {
+            best.mispredicts = t;
+            best.formula = BoolFormula(enc, cache.numInputs());
+            best.valid = true;
+        }
+        if (best.mispredicts == 0)
+            break;
+    }
+    return best;
+}
+
+} // namespace whisper

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Algorithm 1 (FIND-BOOLEAN-FORMULA) and randomized formula testing
+ * (paper SIII-B).
+ */
+
+#ifndef WHISPER_CORE_FORMULA_TRAINER_HH
+#define WHISPER_CORE_FORMULA_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/formula.hh"
+#include "core/profile.hh"
+
+namespace whisper
+{
+
+/**
+ * Shared cache of formula truth tables.
+ *
+ * Scoring a formula against a sample table only needs the formula's
+ * truth table; caching all 2^15 of them (1MB) makes exhaustive
+ * sweeps and repeated randomized searches cheap.
+ */
+class TruthTableCache
+{
+  public:
+    explicit TruthTableCache(unsigned numInputs = 8);
+
+    const TruthTable &table(uint16_t encoding) const;
+    unsigned numInputs() const { return numInputs_; }
+
+    /** Evaluate encoding on packed inputs via the cached table. */
+    bool
+    evaluate(uint16_t encoding, uint8_t inputs) const
+    {
+        const TruthTable &tt = tables_[encoding];
+        return (tt[inputs / 64] >> (inputs % 64)) & 1;
+    }
+
+  private:
+    unsigned numInputs_;
+    std::vector<TruthTable> tables_;
+};
+
+/**
+ * The candidate set produced by randomized formula testing.
+ *
+ * One global Fisher-Yates permutation of all encodings is generated
+ * once (from the config seed) and reused for every branch, exactly
+ * as the paper specifies; a branch's candidates are the first
+ * fraction * count entries of that permutation.
+ */
+class FormulaCandidates
+{
+  public:
+    /**
+     * @param numInputs formula arity (8 for Whisper)
+     * @param fraction fraction of all encodings to consider (0..1]
+     * @param seed Fisher-Yates shuffle seed
+     */
+    FormulaCandidates(unsigned numInputs, double fraction,
+                      uint64_t seed);
+
+    const std::vector<uint16_t> &encodings() const { return selected_; }
+    unsigned numInputs() const { return numInputs_; }
+    double fraction() const { return fraction_; }
+
+    /** A different selection fraction over the same permutation. */
+    std::vector<uint16_t> withFraction(double fraction) const;
+
+  private:
+    unsigned numInputs_;
+    double fraction_;
+    std::vector<uint16_t> permutation_;
+    std::vector<uint16_t> selected_;
+};
+
+/** Result of Algorithm 1. */
+struct FormulaSearchResult
+{
+    BoolFormula formula;
+    /** m': mispredictions the chosen formula incurs on the profile. */
+    uint64_t mispredicts = ~0ULL;
+    /** Number of formulas actually scored. */
+    uint64_t explored = 0;
+    bool valid = false;
+};
+
+/**
+ * Count the mispredictions formula @p encoding incurs on @p samples
+ * (the inner loop of Algorithm 1, lines 5-11).
+ *
+ * @param earlyOut stop early once the count exceeds this bound
+ *        (pass ~0 to disable).
+ */
+uint64_t scoreFormula(const TruthTable &tt,
+                      const HashedSampleTable &samples,
+                      uint64_t earlyOut = ~0ULL);
+
+/**
+ * Algorithm 1: pick the candidate formula with the fewest
+ * mispredictions on the T/NT tables.
+ */
+FormulaSearchResult findBooleanFormula(
+    const HashedSampleTable &samples,
+    const std::vector<uint16_t> &candidates,
+    const TruthTableCache &cache);
+
+} // namespace whisper
+
+#endif // WHISPER_CORE_FORMULA_TRAINER_HH

@@ -1,0 +1,53 @@
+#include "core/hint_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+HintBuffer::HintBuffer(unsigned entries) : capacity_(entries)
+{
+    whisper_assert(entries >= 1);
+}
+
+void
+HintBuffer::insert(uint64_t branchPc, const BrHint &hint)
+{
+    ++insertions_;
+    auto it = map_.find(branchPc);
+    if (it != map_.end()) {
+        // Refresh the existing entry and move it to MRU.
+        it->second->hint = hint;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        ++evictions_;
+        map_.erase(lru_.back().pc);
+        lru_.pop_back();
+    }
+    lru_.push_front(Node{branchPc, hint});
+    map_[branchPc] = lru_.begin();
+}
+
+const BrHint *
+HintBuffer::lookup(uint64_t branchPc)
+{
+    auto it = map_.find(branchPc);
+    if (it == map_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->hint;
+}
+
+void
+HintBuffer::clear()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace whisper

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The run-time hint buffer (paper SIV, "Run-time hint usage").
+ *
+ * Executing a brhint instruction places its four decoded parameters
+ * in a small fully-associative buffer keyed by the hinted branch's
+ * PC. The branch predictor queries the buffer in parallel with
+ * TAGE-SC-L; a hit overrides the dynamic prediction. The paper's
+ * sensitivity study settles on 32 entries.
+ */
+
+#ifndef WHISPER_CORE_HINT_BUFFER_HH
+#define WHISPER_CORE_HINT_BUFFER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/brhint.hh"
+
+namespace whisper
+{
+
+/** Fully-associative LRU buffer of decoded brhints. */
+class HintBuffer
+{
+  public:
+    explicit HintBuffer(unsigned entries = 32);
+
+    /** Install a hint (brhint executed); LRU-evicts when full. */
+    void insert(uint64_t branchPc, const BrHint &hint);
+
+    /**
+     * Query for the branch at @p pc; refreshes LRU on hit.
+     * @return pointer valid until the next insert, or nullptr.
+     */
+    const BrHint *lookup(uint64_t branchPc);
+
+    unsigned capacity() const { return capacity_; }
+    size_t size() const { return map_.size(); }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t insertions() const { return insertions_; }
+    uint64_t evictions() const { return evictions_; }
+
+    void clear();
+
+  private:
+    struct Node
+    {
+        uint64_t pc;
+        BrHint hint;
+    };
+
+    unsigned capacity_;
+    std::list<Node> lru_; //!< front = most recently used
+    std::unordered_map<uint64_t, std::list<Node>::iterator> map_;
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t insertions_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_CORE_HINT_BUFFER_HH

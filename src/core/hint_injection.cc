@@ -1,0 +1,121 @@
+#include "core/hint_injection.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+HintInjector::HintInjector() : HintInjector(Config{})
+{
+}
+
+HintInjector::HintInjector(const Config &cfg) : cfg_(cfg)
+{
+    whisper_assert(cfg.window >= 1);
+}
+
+std::vector<HintPlacement>
+HintInjector::place(BranchSource &trace,
+                    const std::vector<TrainedHint> &hints) const
+{
+    std::unordered_set<uint64_t> hinted;
+    for (const auto &h : hints)
+        hinted.insert(h.pc);
+
+    // cooccur[branch][pred] = branch executions with pred in the
+    // preceding window (each pred counted once per branch execution).
+    std::unordered_map<uint64_t,
+                       std::unordered_map<uint64_t, uint64_t>>
+        cooccur;
+    std::unordered_map<uint64_t, uint64_t> execCount;
+    std::unordered_map<uint64_t, uint64_t> branchExec;
+
+    trace.rewind();
+    std::deque<uint64_t> window;
+    BranchRecord rec;
+    std::unordered_set<uint64_t> seen;
+    while (trace.next(rec)) {
+        ++execCount[rec.pc];
+        if (rec.isConditional() && hinted.count(rec.pc)) {
+            ++branchExec[rec.pc];
+            auto &preds = cooccur[rec.pc];
+            seen.clear();
+            for (uint64_t p : window) {
+                if (seen.insert(p).second)
+                    ++preds[p];
+            }
+        }
+        window.push_back(rec.pc);
+        if (window.size() > cfg_.window)
+            window.pop_front();
+    }
+
+    std::vector<HintPlacement> placements;
+    placements.reserve(hints.size());
+    for (const auto &h : hints) {
+        HintPlacement pl;
+        pl.branchPc = h.pc;
+
+        uint64_t execs = branchExec[h.pc];
+        double bestScore = -1.0;
+        const auto it = cooccur.find(h.pc);
+        if (it != cooccur.end() && execs > 0) {
+            for (const auto &[pred, count] : it->second) {
+                double coverage =
+                    static_cast<double>(count) / execs;
+                // A branch may execute several times inside one
+                // predecessor window; cap so precision stays a
+                // probability.
+                double precision = std::min(
+                    1.0,
+                    static_cast<double>(count) / execCount[pred]);
+                // Conditional-probability score: a good predecessor
+                // covers the branch and rarely fires spuriously.
+                double score = coverage * precision;
+                if (coverage >= cfg_.minCoverage &&
+                    score > bestScore) {
+                    bestScore = score;
+                    pl.predecessorPc = pred;
+                    pl.coverage = coverage;
+                    pl.precision = precision;
+                }
+            }
+        }
+        if (bestScore < 0.0) {
+            // Fall back to the branch's own block: the hint becomes
+            // available from the branch's second execution onwards.
+            pl.predecessorPc = h.pc;
+            pl.coverage = 1.0;
+            pl.precision = 1.0;
+        }
+        pl.predecessorExecutions = execCount[pl.predecessorPc];
+        placements.push_back(pl);
+    }
+    return placements;
+}
+
+InjectionOverhead
+HintInjector::overhead(const std::vector<HintPlacement> &placements,
+                       uint64_t staticInstructions,
+                       uint64_t dynamicInstructions)
+{
+    InjectionOverhead o;
+    o.staticHints = placements.size();
+    for (const auto &pl : placements)
+        o.dynamicHints += pl.predecessorExecutions;
+    if (staticInstructions > 0) {
+        o.staticIncreasePct = 100.0 *
+            static_cast<double>(o.staticHints) / staticInstructions;
+    }
+    if (dynamicInstructions > 0) {
+        o.dynamicIncreasePct = 100.0 *
+            static_cast<double>(o.dynamicHints) / dynamicInstructions;
+    }
+    return o;
+}
+
+} // namespace whisper

@@ -1,0 +1,37 @@
+#include "core/history_hash.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+std::vector<unsigned>
+geometricLengths(unsigned a, unsigned n, unsigned m)
+{
+    whisper_assert(m >= 2, "need at least two lengths");
+    whisper_assert(n > a && a >= 1);
+    double r = std::pow(static_cast<double>(n) / a,
+                        1.0 / (m - 1));
+    std::vector<unsigned> lengths(m);
+    double len = a;
+    for (unsigned i = 0; i < m; ++i) {
+        unsigned v = static_cast<unsigned>(len + 0.5);
+        if (i > 0 && v <= lengths[i - 1])
+            v = lengths[i - 1] + 1;
+        lengths[i] = v;
+        len *= r;
+    }
+    lengths[m - 1] = n;
+    return lengths;
+}
+
+std::vector<unsigned>
+geometricLengths(const WhisperConfig &cfg)
+{
+    return geometricLengths(cfg.minHistoryLength, cfg.maxHistoryLength,
+                            cfg.numHistoryLengths);
+}
+
+} // namespace whisper

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * In-production profile data (paper SIV, step 1-2).
+ *
+ * A BranchProfile is what Whisper's offline analysis consumes: for
+ * every static conditional branch, its execution/taken counts and the
+ * profiled processor's misprediction count (the information Intel
+ * LBR provides); and for branches selected as "hard", the
+ * taken/not-taken sample tables keyed by hashed history at each
+ * candidate length (the information derived from Intel PT traces).
+ */
+
+#ifndef WHISPER_CORE_PROFILE_HH
+#define WHISPER_CORE_PROFILE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/history_hash.hh"
+
+namespace whisper
+{
+
+/**
+ * Taken/not-taken counts per hashed-history value (the T and NT
+ * hash tables of Algorithm 1) for one history length.
+ */
+struct HashedSampleTable
+{
+    std::vector<uint32_t> taken;
+    std::vector<uint32_t> notTaken;
+
+    HashedSampleTable() = default;
+    explicit HashedSampleTable(unsigned keyBits)
+        : taken(1u << keyBits, 0), notTaken(1u << keyBits, 0)
+    {
+    }
+
+    void
+    record(unsigned key, bool wasTaken)
+    {
+        if (wasTaken)
+            ++taken[key];
+        else
+            ++notTaken[key];
+    }
+
+    /** Elementwise sum (profile merging). */
+    void addFrom(const HashedSampleTable &other);
+
+    /** Total samples recorded. */
+    uint64_t totalSamples() const;
+
+    /**
+     * Mispredictions of the best possible per-key constant
+     * prediction: sum over keys of min(T, NT). This is the floor any
+     * formula over this key space can reach.
+     */
+    uint64_t oracleMispredicts() const;
+
+    bool empty() const { return taken.empty(); }
+};
+
+/** Profile record for one static conditional branch. */
+struct BranchProfileEntry
+{
+    uint64_t pc = 0;
+    uint64_t executions = 0;
+    uint64_t takenCount = 0;
+    /** Mispredictions of the profiled (baseline) predictor. */
+    uint64_t baselineMispredicts = 0;
+    /** True when detailed sample tables were collected. */
+    bool hard = false;
+
+    /** Hashed tables, one per candidate history length. */
+    std::vector<HashedSampleTable> byLength;
+    /** Raw (unhashed) last-4 and last-8 tables for the ROMBF
+     * baselines. */
+    HashedSampleTable raw4;
+    HashedSampleTable raw8;
+
+    uint64_t notTakenCount() const { return executions - takenCount; }
+
+    /** Mispredictions of the best static (always/never) prediction. */
+    uint64_t
+    biasMispredicts() const
+    {
+        return std::min(takenCount, notTakenCount());
+    }
+
+    double
+    baselineAccuracy() const
+    {
+        return executions == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(baselineMispredicts) /
+                    executions;
+    }
+};
+
+/**
+ * Whole-application profile: per-branch entries plus trace-level
+ * totals. Profiles from multiple inputs can be merged (Fig. 18).
+ */
+class BranchProfile
+{
+  public:
+    explicit BranchProfile(const WhisperConfig &cfg = WhisperConfig{});
+
+    const WhisperConfig &config() const { return cfg_; }
+    const std::vector<unsigned> &lengths() const { return lengths_; }
+
+    /** Find-or-create the entry for @p pc. */
+    BranchProfileEntry &entry(uint64_t pc);
+    const BranchProfileEntry *find(uint64_t pc) const;
+
+    /** Allocate the detailed tables for @p pc and mark it hard. */
+    void markHard(uint64_t pc);
+
+    size_t numBranches() const { return entries_.size(); }
+    size_t numHardBranches() const;
+
+    const std::unordered_map<uint64_t, BranchProfileEntry> &
+    entries() const
+    {
+        return entries_;
+    }
+    std::unordered_map<uint64_t, BranchProfileEntry> &
+    entries()
+    {
+        return entries_;
+    }
+
+    /** Hard entries sorted by descending baseline mispredictions. */
+    std::vector<const BranchProfileEntry *> hardBranches() const;
+
+    /**
+     * Merge another profile (same config) into this one, summing all
+     * counts; a branch is hard in the union if hard in either.
+     */
+    void mergeFrom(const BranchProfile &other);
+
+    uint64_t totalInstructions = 0;
+    uint64_t totalConditionals = 0;
+    uint64_t totalMispredicts = 0;
+
+  private:
+    WhisperConfig cfg_;
+    std::vector<unsigned> lengths_;
+    std::unordered_map<uint64_t, BranchProfileEntry> entries_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_CORE_PROFILE_HH

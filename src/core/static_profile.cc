@@ -1,0 +1,25 @@
+#include "core/static_profile.hh"
+
+#include "core/profile.hh"
+
+namespace whisper
+{
+
+StaticProfilePredictor::StaticProfilePredictor(
+    const BranchProfile &profile, bool fallbackTaken)
+    : fallbackTaken_(fallbackTaken)
+{
+    for (const auto &[pc, e] : profile.entries()) {
+        if (e.executions > 0)
+            direction_[pc] = e.takenCount >= e.notTakenCount();
+    }
+}
+
+bool
+StaticProfilePredictor::predict(uint64_t pc, bool)
+{
+    auto it = direction_.find(pc);
+    return it == direction_.end() ? fallbackTaken_ : it->second;
+}
+
+} // namespace whisper

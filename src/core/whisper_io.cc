@@ -1,0 +1,276 @@
+#include "core/whisper_io.hh"
+
+#include <cstdio>
+#include <type_traits>
+
+namespace whisper
+{
+
+namespace
+{
+
+constexpr uint32_t kProfileMagic = 0x57485052; // "WHPR"
+constexpr uint32_t kHintMagic = 0x57484E54;    // "WHNT"
+constexpr uint32_t kVersion = 1;
+
+/** Minimal checked binary writer/reader over stdio. */
+class BinFile
+{
+  public:
+    BinFile(const std::string &path, const char *mode)
+        : f_(std::fopen(path.c_str(), mode))
+    {
+    }
+    ~BinFile()
+    {
+        if (f_)
+            std::fclose(f_);
+    }
+    BinFile(const BinFile &) = delete;
+    BinFile &operator=(const BinFile &) = delete;
+
+    bool valid() const { return f_ != nullptr && ok_; }
+
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (valid() && std::fwrite(&v, 1, sizeof(T), f_) != sizeof(T))
+            ok_ = false;
+    }
+
+    template <typename T>
+    void
+    get(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (valid() && std::fread(&v, 1, sizeof(T), f_) != sizeof(T))
+            ok_ = false;
+    }
+
+    void
+    putVec32(const std::vector<uint32_t> &v)
+    {
+        put(static_cast<uint64_t>(v.size()));
+        if (valid() && !v.empty() &&
+            std::fwrite(v.data(), sizeof(uint32_t), v.size(), f_) !=
+                v.size()) {
+            ok_ = false;
+        }
+    }
+
+    bool
+    getVec32(std::vector<uint32_t> &v, uint64_t maxSize)
+    {
+        uint64_t n = 0;
+        get(n);
+        if (!valid() || n > maxSize)
+            return false;
+        v.resize(n);
+        if (!v.empty() &&
+            std::fread(v.data(), sizeof(uint32_t), v.size(), f_) !=
+                v.size()) {
+            ok_ = false;
+        }
+        return valid();
+    }
+
+  private:
+    std::FILE *f_;
+    bool ok_ = true;
+};
+
+void
+putSampleTable(BinFile &f, const HashedSampleTable &t)
+{
+    f.putVec32(t.taken);
+    f.putVec32(t.notTaken);
+}
+
+bool
+getSampleTable(BinFile &f, HashedSampleTable &t)
+{
+    return f.getVec32(t.taken, 1 << 20) &&
+           f.getVec32(t.notTaken, 1 << 20) &&
+           t.taken.size() == t.notTaken.size();
+}
+
+} // namespace
+
+bool
+saveProfile(const BranchProfile &profile, const std::string &path)
+{
+    BinFile f(path, "wb");
+    if (!f.valid())
+        return false;
+
+    f.put(kProfileMagic);
+    f.put(kVersion);
+    const WhisperConfig &cfg = profile.config();
+    f.put(cfg.minHistoryLength);
+    f.put(cfg.maxHistoryLength);
+    f.put(cfg.numHistoryLengths);
+    f.put(cfg.hashWidth);
+    f.put(profile.totalInstructions);
+    f.put(profile.totalConditionals);
+    f.put(profile.totalMispredicts);
+
+    f.put(static_cast<uint64_t>(profile.numBranches()));
+    for (const auto &[pc, e] : profile.entries()) {
+        f.put(e.pc);
+        f.put(e.executions);
+        f.put(e.takenCount);
+        f.put(e.baselineMispredicts);
+        f.put(static_cast<uint8_t>(e.hard));
+        if (e.hard) {
+            for (const auto &table : e.byLength)
+                putSampleTable(f, table);
+            putSampleTable(f, e.raw4);
+            putSampleTable(f, e.raw8);
+        }
+    }
+    return f.valid();
+}
+
+bool
+loadProfile(BranchProfile &profile, const std::string &path)
+{
+    BinFile f(path, "rb");
+    if (!f.valid())
+        return false;
+
+    uint32_t magic = 0, version = 0;
+    f.get(magic);
+    f.get(version);
+    if (!f.valid() || magic != kProfileMagic || version != kVersion)
+        return false;
+
+    WhisperConfig cfg;
+    f.get(cfg.minHistoryLength);
+    f.get(cfg.maxHistoryLength);
+    f.get(cfg.numHistoryLengths);
+    f.get(cfg.hashWidth);
+    if (!f.valid() || cfg.numHistoryLengths < 2 ||
+        cfg.numHistoryLengths > 16 ||
+        cfg.minHistoryLength >= cfg.maxHistoryLength) {
+        return false;
+    }
+
+    BranchProfile loaded(cfg);
+    f.get(loaded.totalInstructions);
+    f.get(loaded.totalConditionals);
+    f.get(loaded.totalMispredicts);
+
+    uint64_t numBranches = 0;
+    f.get(numBranches);
+    if (!f.valid() || numBranches > (1ULL << 32))
+        return false;
+
+    for (uint64_t i = 0; i < numBranches; ++i) {
+        uint64_t pc = 0;
+        f.get(pc);
+        if (!f.valid())
+            return false;
+        BranchProfileEntry &e = loaded.entry(pc);
+        f.get(e.executions);
+        f.get(e.takenCount);
+        f.get(e.baselineMispredicts);
+        uint8_t hard = 0;
+        f.get(hard);
+        if (!f.valid())
+            return false;
+        if (hard) {
+            loaded.markHard(pc);
+            for (auto &table : e.byLength) {
+                if (!getSampleTable(f, table))
+                    return false;
+            }
+            if (!getSampleTable(f, e.raw4) ||
+                !getSampleTable(f, e.raw8)) {
+                return false;
+            }
+        }
+    }
+    if (!f.valid())
+        return false;
+    profile = std::move(loaded);
+    return true;
+}
+
+bool
+saveHintBundle(const HintBundle &bundle, const std::string &path)
+{
+    BinFile f(path, "wb");
+    if (!f.valid())
+        return false;
+    f.put(kHintMagic);
+    f.put(kVersion);
+    f.put(static_cast<uint64_t>(bundle.hints.size()));
+    for (const auto &h : bundle.hints) {
+        f.put(h.pc);
+        f.put(h.hint.encode());
+        f.put(h.historyLength);
+        f.put(h.expectedMispredicts);
+        f.put(h.profiledMispredicts);
+        f.put(h.executions);
+    }
+    f.put(static_cast<uint64_t>(bundle.placements.size()));
+    for (const auto &p : bundle.placements) {
+        f.put(p.branchPc);
+        f.put(p.predecessorPc);
+        f.put(p.coverage);
+        f.put(p.precision);
+        f.put(p.predecessorExecutions);
+    }
+    return f.valid();
+}
+
+bool
+loadHintBundle(HintBundle &bundle, const std::string &path)
+{
+    BinFile f(path, "rb");
+    if (!f.valid())
+        return false;
+    uint32_t magic = 0, version = 0;
+    f.get(magic);
+    f.get(version);
+    if (!f.valid() || magic != kHintMagic || version != kVersion)
+        return false;
+
+    HintBundle loaded;
+    uint64_t n = 0;
+    f.get(n);
+    if (!f.valid() || n > (1ULL << 24))
+        return false;
+    loaded.hints.resize(n);
+    for (auto &h : loaded.hints) {
+        uint64_t encoded = 0;
+        f.get(h.pc);
+        f.get(encoded);
+        if (!f.valid() || encoded >= (1ULL << BrHint::kEncodedBits))
+            return false;
+        h.hint = BrHint::decode(encoded);
+        f.get(h.historyLength);
+        f.get(h.expectedMispredicts);
+        f.get(h.profiledMispredicts);
+        f.get(h.executions);
+    }
+    f.get(n);
+    if (!f.valid() || n > (1ULL << 24))
+        return false;
+    loaded.placements.resize(n);
+    for (auto &p : loaded.placements) {
+        f.get(p.branchPc);
+        f.get(p.predecessorPc);
+        f.get(p.coverage);
+        f.get(p.precision);
+        f.get(p.predecessorExecutions);
+    }
+    if (!f.valid())
+        return false;
+    bundle = std::move(loaded);
+    return true;
+}
+
+} // namespace whisper

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Binary (de)serialization for Whisper's offline artifacts.
+ *
+ * Two artifact kinds cross process boundaries in a deployment
+ * pipeline (paper Fig. 10): the collected profile (steps 1-2) and
+ * the trained hint bundle (step 3, the inputs to binary rewriting).
+ * Both get simple versioned binary formats so the CLI tools in
+ * tools/ can split the flow across invocations.
+ */
+
+#ifndef WHISPER_CORE_WHISPER_IO_HH
+#define WHISPER_CORE_WHISPER_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "core/hint_injection.hh"
+#include "core/profile.hh"
+#include "core/whisper_trainer.hh"
+
+namespace whisper
+{
+
+/** Trained hints plus their placements: one deployable bundle. */
+struct HintBundle
+{
+    std::vector<TrainedHint> hints;
+    std::vector<HintPlacement> placements;
+};
+
+/** Save/load a profile. @return false on I/O or format error. */
+bool saveProfile(const BranchProfile &profile,
+                 const std::string &path);
+bool loadProfile(BranchProfile &profile, const std::string &path);
+
+/** Save/load a hint bundle. @return false on I/O or format error. */
+bool saveHintBundle(const HintBundle &bundle,
+                    const std::string &path);
+bool loadHintBundle(HintBundle &bundle, const std::string &path);
+
+} // namespace whisper
+
+#endif // WHISPER_CORE_WHISPER_IO_HH

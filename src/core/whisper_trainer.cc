@@ -1,0 +1,137 @@
+#include "core/whisper_trainer.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+WhisperTrainer::WhisperTrainer(const WhisperConfig &cfg,
+                               const TruthTableCache &cache)
+    : cfg_(cfg), cache_(cache),
+      candidates_(cache.numInputs(), cfg.formulaFraction,
+                  cfg.formulaShuffleSeed),
+      selected_(candidates_.encodings())
+{
+}
+
+void
+WhisperTrainer::setCandidateFraction(double fraction)
+{
+    selected_ = candidates_.withFraction(fraction);
+}
+
+void
+WhisperTrainer::setCandidateList(std::vector<uint16_t> encodings)
+{
+    whisper_assert(!encodings.empty());
+    selected_ = std::move(encodings);
+}
+
+std::vector<uint16_t>
+WhisperTrainer::monotoneCandidates()
+{
+    std::vector<uint16_t> out;
+    for (uint32_t enc = 0; enc < BoolFormula::encodingCount(8);
+         ++enc) {
+        BoolFormula f(static_cast<uint16_t>(enc), 8);
+        if (f.isMonotone())
+            out.push_back(static_cast<uint16_t>(enc));
+    }
+    return out;
+}
+
+bool
+WhisperTrainer::trainBranch(const BranchProfileEntry &entry,
+                            const std::vector<unsigned> &lengths,
+                            TrainedHint &out, uint64_t *scored) const
+{
+    whisper_assert(entry.hard, "trainBranch needs detailed tables");
+    whisper_assert(entry.byLength.size() == lengths.size());
+
+    // Start from the static-bias options: they are always available
+    // through the brhint Bias field and cost no formula search.
+    uint64_t best = entry.biasMispredicts();
+    HintBias bestBias = entry.takenCount >= entry.notTakenCount()
+        ? HintBias::AlwaysTaken : HintBias::NeverTaken;
+    int bestLenIdx = -1;
+    uint16_t bestFormula = 0;
+
+    for (size_t l = 0; l < lengths.size(); ++l) {
+        if (entry.byLength[l].totalSamples() == 0)
+            continue;
+        FormulaSearchResult res =
+            findBooleanFormula(entry.byLength[l], selected_, cache_);
+        if (scored)
+            *scored += res.explored;
+        if (res.valid && res.mispredicts < best) {
+            best = res.mispredicts;
+            bestBias = HintBias::Formula;
+            bestLenIdx = static_cast<int>(l);
+            bestFormula = res.formula.encoding();
+        }
+    }
+
+    // Emit only when the winner beats the profiled predictor by the
+    // configured relative margin (paper SIV: "only if Boolean
+    // formula-based prediction achieves better accuracy than the
+    // profiled processor's predictor") AND the absolute per-
+    // execution gain is worth a hint.
+    double baseline =
+        static_cast<double>(entry.baselineMispredicts);
+    if (static_cast<double>(best) >=
+        baseline * (1.0 - cfg_.minImprovement))
+        return false;
+    double gainPerExec =
+        (baseline - static_cast<double>(best)) /
+        static_cast<double>(std::max<uint64_t>(entry.executions, 1));
+    if (gainPerExec < cfg_.minGainPerExecution)
+        return false;
+
+    out.pc = entry.pc;
+    out.hint.historyIdx =
+        bestLenIdx < 0 ? 0 : static_cast<uint8_t>(bestLenIdx);
+    out.hint.formula = bestFormula;
+    out.hint.bias = bestBias;
+    out.hint.pcPointer = BrHint::pcPointerFor(entry.pc);
+    out.historyLength = bestLenIdx < 0 ? 0 : lengths[bestLenIdx];
+    out.expectedMispredicts = best;
+    out.profiledMispredicts = entry.baselineMispredicts;
+    out.executions = entry.executions;
+    return true;
+}
+
+std::vector<TrainedHint>
+WhisperTrainer::train(const BranchProfile &profile,
+                      TrainingStats *stats) const
+{
+    auto start = std::chrono::steady_clock::now();
+    TrainingStats local;
+
+    std::vector<TrainedHint> hints;
+    for (const BranchProfileEntry *entry : profile.hardBranches()) {
+        if (entry->baselineMispredicts < cfg_.minMispredictions)
+            continue;
+        ++local.branchesConsidered;
+        TrainedHint hint;
+        if (trainBranch(*entry, profile.lengths(), hint,
+                        &local.formulasScored)) {
+            local.coveredMispredicts += hint.profiledMispredicts;
+            local.expectedRemaining += hint.expectedMispredicts;
+            hints.push_back(hint);
+        }
+    }
+
+    local.hintsEmitted = hints.size();
+    local.trainSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (stats)
+        *stats = local;
+    return hints;
+}
+
+} // namespace whisper

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Whisper's offline branch analysis (paper SIV, step 2).
+ *
+ * For every hard branch in the profile the trainer scans all m
+ * candidate history lengths, runs Algorithm 1 with the randomized
+ * candidate set at each length, also considers the static bias
+ * options, and emits a brhint only when the winner beats the
+ * profiled processor's accuracy on that branch.
+ */
+
+#ifndef WHISPER_CORE_WHISPER_TRAINER_HH
+#define WHISPER_CORE_WHISPER_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/brhint.hh"
+#include "core/formula_trainer.hh"
+#include "core/profile.hh"
+
+namespace whisper
+{
+
+/** One trained hint plus the bookkeeping the evaluation uses. */
+struct TrainedHint
+{
+    uint64_t pc = 0;           //!< full branch address
+    BrHint hint;               //!< encoded instruction payload
+    unsigned historyLength = 0; //!< resolved length (series value)
+    uint64_t expectedMispredicts = 0; //!< m' on the training profile
+    uint64_t profiledMispredicts = 0; //!< baseline on the profile
+    uint64_t executions = 0;
+};
+
+/** Aggregate statistics of one training run. */
+struct TrainingStats
+{
+    uint64_t branchesConsidered = 0;
+    uint64_t hintsEmitted = 0;
+    uint64_t formulasScored = 0;
+    double trainSeconds = 0.0;
+    /** Profiled mispredictions covered by emitted hints. */
+    uint64_t coveredMispredicts = 0;
+    /** Expected remaining mispredictions on those branches. */
+    uint64_t expectedRemaining = 0;
+};
+
+/** Whisper's offline trainer. */
+class WhisperTrainer
+{
+  public:
+    /**
+     * @param cfg design parameters (Table III defaults)
+     * @param cache shared truth-table cache (must outlive trainer)
+     */
+    WhisperTrainer(const WhisperConfig &cfg,
+                   const TruthTableCache &cache);
+
+    /**
+     * Train hints for every hard branch of @p profile.
+     * @param stats optional run statistics out-param
+     */
+    std::vector<TrainedHint> train(const BranchProfile &profile,
+                                   TrainingStats *stats = nullptr) const;
+
+    /**
+     * Train a single branch; returns false when no hint beats the
+     * profiled predictor for it.
+     */
+    bool trainBranch(const BranchProfileEntry &entry,
+                     const std::vector<unsigned> &lengths,
+                     TrainedHint &out, uint64_t *scored = nullptr) const;
+
+    const FormulaCandidates &candidates() const { return candidates_; }
+    const WhisperConfig &config() const { return cfg_; }
+
+    /** Rebuild with a different candidate fraction (Fig. 15 sweep). */
+    void setCandidateFraction(double fraction);
+
+    /** Replace the candidate set outright (ablation studies). */
+    void setCandidateList(std::vector<uint16_t> encodings);
+
+    /**
+     * All AND/OR-only, non-inverted encodings — the classic-ROMBF
+     * subset of the formula space (used for the Fig. 14 ablation
+     * separating hashed-history correlation from the new
+     * implication operators).
+     */
+    static std::vector<uint16_t> monotoneCandidates();
+
+  private:
+    WhisperConfig cfg_;
+    const TruthTableCache &cache_;
+    FormulaCandidates candidates_;
+    std::vector<uint16_t> selected_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_CORE_WHISPER_TRAINER_HH

@@ -1,0 +1,116 @@
+#include "rombf/rombf_formula.hh"
+
+#include <unordered_set>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+/** Bitwise AND/OR over packed truth tables. */
+TruthTable
+combine(const TruthTable &a, const TruthTable &b, bool isAnd)
+{
+    TruthTable out;
+    for (size_t w = 0; w < out.size(); ++w)
+        out[w] = isAnd ? (a[w] & b[w]) : (a[w] | b[w]);
+    return out;
+}
+
+struct TruthTableHash
+{
+    size_t
+    operator()(const TruthTable &t) const
+    {
+        uint64_t h = 0x9E3779B97F4A7C15ULL;
+        for (uint64_t w : t)
+            h = hashCombine(h, w);
+        return static_cast<size_t>(h);
+    }
+};
+
+/**
+ * Recursively enumerate all ROMBFs over variables [lo, hi).
+ * Memoization is unnecessary: every (lo, hi) range is visited once
+ * per parent split, and the total work is proportional to the
+ * output size.
+ */
+std::vector<TruthTable>
+enumerateRange(unsigned lo, unsigned hi, unsigned numVars,
+               uint64_t &enumerated)
+{
+    std::vector<TruthTable> out;
+    if (hi - lo == 1) {
+        // The truth table of variable 'lo' over numVars packed
+        // inputs: true whenever input bit lo is set.
+        TruthTable tt{};
+        unsigned count = 1u << numVars;
+        for (unsigned v = 0; v < count; ++v)
+            if ((v >> lo) & 1)
+                tt[v / 64] |= 1ULL << (v % 64);
+        out.push_back(tt);
+        ++enumerated;
+        return out;
+    }
+    for (unsigned split = lo + 1; split < hi; ++split) {
+        auto left = enumerateRange(lo, split, numVars, enumerated);
+        auto right = enumerateRange(split, hi, numVars, enumerated);
+        for (const auto &l : left) {
+            for (const auto &r : right) {
+                out.push_back(combine(l, r, true));
+                out.push_back(combine(l, r, false));
+                enumerated += 2;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+uint64_t
+rombfCount(unsigned numVars)
+{
+    whisper_assert(numVars >= 1 && numVars <= 16);
+    std::vector<uint64_t> t(numVars + 1, 0);
+    t[1] = 1;
+    for (unsigned n = 2; n <= numVars; ++n) {
+        uint64_t sum = 0;
+        for (unsigned k = 1; k < n; ++k)
+            sum += t[k] * t[n - k];
+        t[n] = 2 * sum;
+    }
+    return t[numVars];
+}
+
+RombfEnumeration
+enumerateRombf(unsigned numVars, bool dedupe)
+{
+    whisper_assert(numVars >= 2 && numVars <= 8,
+                   "numVars=", numVars);
+    RombfEnumeration result;
+    result.numVars = numVars;
+
+    uint64_t leafCount = 0;
+    auto all = enumerateRange(0, numVars, numVars, leafCount);
+    // 'enumerated' counts the formulas proper: every combine.
+    result.enumerated = rombfCount(numVars);
+
+    if (!dedupe) {
+        result.tables = std::move(all);
+        return result;
+    }
+
+    std::unordered_set<TruthTable, TruthTableHash> seen;
+    for (const auto &tt : all) {
+        if (seen.insert(tt).second)
+            result.tables.push_back(tt);
+    }
+    return result;
+}
+
+} // namespace whisper

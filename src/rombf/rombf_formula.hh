@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Read-Once Monotone Boolean Formula enumeration (prior work [36],
+ * Jimenez, Hanson & Lin, PACT 2001).
+ *
+ * A ROMBF over the last N branch outcomes uses each history bit
+ * exactly once, combined by AND/OR nodes in an arbitrary binary tree
+ * over the variables in order. Unlike Whisper's extended formulas
+ * there is no hashing (the history is raw), no implication
+ * operators, and no inversion; tautology and contradiction
+ * (always/never-taken) are considered separately.
+ *
+ * The number of op-labeled ordered tree shapes grows exponentially
+ * in N — T(1)=1, T(n) = 2 * sum_k T(k)T(n-k) — which is exactly why
+ * the paper's Fig. 16 shows ROMBF training time blowing up with
+ * history length (T(8) = 54912 candidate formulas versus the ~33
+ * Whisper scores per length under randomized testing).
+ */
+
+#ifndef WHISPER_ROMBF_ROMBF_FORMULA_HH
+#define WHISPER_ROMBF_ROMBF_FORMULA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/formula.hh"
+
+namespace whisper
+{
+
+/** Enumeration result: candidate truth tables plus counts. */
+struct RombfEnumeration
+{
+    /** Truth tables of the candidates (over 2^numVars entries). */
+    std::vector<TruthTable> tables;
+    /** Formulas enumerated before deduplication. */
+    uint64_t enumerated = 0;
+    unsigned numVars = 0;
+};
+
+/**
+ * Enumerate every ROMBF over @p numVars ordered variables.
+ *
+ * @param numVars history length (4 or 8 in the paper's variants)
+ * @param dedupe collapse formulas computing identical functions
+ */
+RombfEnumeration enumerateRombf(unsigned numVars, bool dedupe);
+
+/** T(n): the number of op-labeled read-once trees over n leaves. */
+uint64_t rombfCount(unsigned numVars);
+
+} // namespace whisper
+
+#endif // WHISPER_ROMBF_ROMBF_FORMULA_HH

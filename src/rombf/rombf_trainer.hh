@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Profile-guided ROMBF training (prior-work baseline).
+ *
+ * For every hard branch the trainer exhaustively scores all ROMBFs
+ * of the configured history length against the branch's raw-history
+ * sample tables, also considers always/never-taken, and annotates
+ * the branch when the winner beats the profiled predictor.
+ */
+
+#ifndef WHISPER_ROMBF_ROMBF_TRAINER_HH
+#define WHISPER_ROMBF_ROMBF_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile.hh"
+#include "rombf/rombf_formula.hh"
+
+namespace whisper
+{
+
+/** One trained ROMBF annotation. */
+struct RombfHint
+{
+    uint64_t pc = 0;
+    /** Index into the enumeration's truth tables; bias when < 0. */
+    int tableIdx = -1;
+    bool biasTaken = false;     //!< used when tableIdx < 0
+    uint64_t expectedMispredicts = 0;
+    uint64_t profiledMispredicts = 0;
+};
+
+/** Training statistics (Fig. 16 input). */
+struct RombfTrainingStats
+{
+    uint64_t branchesConsidered = 0;
+    uint64_t hintsEmitted = 0;
+    uint64_t formulasScored = 0;
+    double trainSeconds = 0.0;
+};
+
+/** Exhaustive ROMBF trainer for 4- or 8-bit variants. */
+class RombfTrainer
+{
+  public:
+    /**
+     * @param historyLength 4 or 8 (the paper's two variants)
+     * @param dedupe collapse function-equivalent formulas (quality
+     *        is unchanged; pass false to measure the genuine
+     *        enumeration cost for Fig. 16)
+     * @param minImprovement fraction of profiled mispredictions a
+     *        hint must remove
+     */
+    explicit RombfTrainer(unsigned historyLength, bool dedupe = true,
+                          double minImprovement = 0.15,
+                          uint64_t minMispredictions = 8);
+
+    std::vector<RombfHint> train(const BranchProfile &profile,
+                                 RombfTrainingStats *stats
+                                 = nullptr) const;
+
+    const RombfEnumeration &enumeration() const { return enum_; }
+    unsigned historyLength() const { return histLen_; }
+
+  private:
+    unsigned histLen_;
+    double minImprovement_;
+    uint64_t minMispredictions_;
+    RombfEnumeration enum_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_ROMBF_ROMBF_TRAINER_HH

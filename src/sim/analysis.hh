@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Characterization analyses feeding Figs. 5, 6 and 7.
+ */
+
+#ifndef WHISPER_SIM_ANALYSIS_HH
+#define WHISPER_SIM_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bp/branch_predictor.hh"
+#include "core/profile.hh"
+#include "core/whisper_trainer.hh"
+#include "trace/branch_source.hh"
+#include "util/histogram.hh"
+
+namespace whisper
+{
+
+/**
+ * Fig. 5: per-static-branch misprediction counts, from which the
+ * caller derives the CDF over the top-N branches.
+ */
+CountHistogram mispredictsPerBranch(BranchSource &source,
+                                    BranchPredictor &predictor);
+
+/**
+ * Fig. 6: attribute each hard branch's mispredictions to the
+ * shortest history length whose oracle (best per-hash-key constant)
+ * accuracy explains the branch, and histogram misprediction weight
+ * over the paper's length buckets (1-8, 9-16, ..., 1024+).
+ *
+ * Branches whose behaviour no length explains better than bias are
+ * attributed to the 1-8 bucket (they need no history); branches
+ * nothing explains keep their weight at 1024+.
+ */
+BucketHistogram mispredictsByHistoryLength(
+    const BranchProfile &profile, double explainThreshold = 0.75);
+
+/**
+ * Fig. 7: distribution of branch executions over the operation
+ * family of the formula that best predicts each branch. Hinted
+ * branches use their trained formula's class; unhinted strongly
+ * biased branches count as always/never-taken; everything else is
+ * "Others".
+ */
+struct OpClassDistribution
+{
+    /** Execution weight per OpClass (indexed by the enum). */
+    std::array<uint64_t, 7> weight{};
+    uint64_t total = 0;
+
+    double
+    fraction(OpClass c) const
+    {
+        return total
+            ? static_cast<double>(
+                  weight[static_cast<size_t>(c)]) / total
+            : 0.0;
+    }
+};
+
+OpClassDistribution
+opClassDistribution(const BranchProfile &profile,
+                    const std::vector<TrainedHint> &hints,
+                    double biasCutoff = 0.98);
+
+} // namespace whisper
+
+#endif // WHISPER_SIM_ANALYSIS_HH

@@ -1,0 +1,123 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+
+#include "branchnet/branchnet_predictor.hh"
+#include "trace/global_history.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+BranchProfile
+collectProfile(BranchSource &trace, BranchPredictor &baseline,
+               const WhisperConfig &cfg, const ProfileOptions &opt)
+{
+    BranchProfile profile(cfg);
+
+    // The warm-up window is defined in records; count the stream
+    // first so both passes agree on it.
+    trace.rewind();
+    BranchRecord rec;
+    uint64_t totalRecords = 0;
+    while (trace.next(rec))
+        ++totalRecords;
+    uint64_t warmupRecords = static_cast<uint64_t>(
+        opt.statsWarmupFraction * totalRecords);
+
+    // ---- Pass 1: baseline accuracy per branch (LBR stand-in) ----
+    trace.rewind();
+    uint64_t seen = 0;
+    while (trace.next(rec)) {
+        bool counting = ++seen > warmupRecords;
+        if (counting) {
+            profile.totalInstructions +=
+                static_cast<uint64_t>(rec.instGap) + 1;
+        }
+        if (!rec.isConditional()) {
+            baseline.onRecord(rec);
+            continue;
+        }
+        bool pred = baseline.predict(rec.pc, rec.taken);
+        baseline.update(rec.pc, rec.taken, pred);
+        baseline.onRecord(rec);
+        if (!counting)
+            continue;
+
+        ++profile.totalConditionals;
+        BranchProfileEntry &e = profile.entry(rec.pc);
+        ++e.executions;
+        if (rec.taken)
+            ++e.takenCount;
+        if (pred != rec.taken) {
+            ++e.baselineMispredicts;
+            ++profile.totalMispredicts;
+        }
+    }
+
+    // ---- Hard-branch selection ----
+    std::vector<BranchProfileEntry *> candidates;
+    for (auto &[pc, e] : profile.entries()) {
+        if (e.baselineMispredicts >= opt.minMispredicts &&
+            e.baselineAccuracy() <= opt.maxAccuracy) {
+            candidates.push_back(&e);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const BranchProfileEntry *a,
+                 const BranchProfileEntry *b) {
+                  if (a->baselineMispredicts !=
+                      b->baselineMispredicts)
+                      return a->baselineMispredicts >
+                             b->baselineMispredicts;
+                  return a->pc < b->pc;
+              });
+    if (candidates.size() > opt.maxHardBranches)
+        candidates.resize(opt.maxHardBranches);
+    std::vector<uint64_t> hardPcs;
+    for (auto *e : candidates) {
+        profile.markHard(e->pc);
+        hardPcs.push_back(e->pc);
+    }
+    if (opt.branchNetStore)
+        opt.branchNetStore->setTracked(hardPcs);
+
+    // ---- Pass 2: sample tables for hard branches (PT stand-in) ----
+    GlobalHistory history(2 * cfg.maxHistoryLength);
+    for (unsigned len : profile.lengths())
+        history.addFoldedView(len, cfg.hashWidth);
+    TokenHistory tokens;
+
+    trace.rewind();
+    seen = 0;
+    while (trace.next(rec)) {
+        bool counting = ++seen > warmupRecords;
+        if (!rec.isConditional())
+            continue;
+        BranchProfileEntry &e = profile.entry(rec.pc);
+        if (e.hard && counting) {
+            for (size_t l = 0; l < profile.lengths().size(); ++l) {
+                e.byLength[l].record(
+                    history.foldedValue(l), rec.taken);
+            }
+            e.raw4.record(
+                static_cast<unsigned>(history.lastBits(4)),
+                rec.taken);
+            e.raw8.record(
+                static_cast<unsigned>(history.lastBits(8)),
+                rec.taken);
+            if (opt.branchNetStore) {
+                BranchNetSample sample;
+                sample.tokens = tokens.snapshot();
+                sample.taken = rec.taken;
+                opt.branchNetStore->record(rec.pc, sample);
+            }
+        }
+        history.push(rec.taken);
+        tokens.push(rec.pc, rec.taken);
+    }
+
+    return profile;
+}
+
+} // namespace whisper

@@ -1,0 +1,54 @@
+#include "sim/runner.hh"
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+PredictorRunStats
+runPredictor(BranchSource &source, BranchPredictor &predictor,
+             double warmupFraction, uint64_t totalInstructionsHint)
+{
+    whisper_assert(warmupFraction >= 0.0 && warmupFraction < 1.0);
+
+    uint64_t total = totalInstructionsHint;
+    if (warmupFraction > 0.0 && total == 0) {
+        // Pre-pass to learn the stream's instruction count.
+        source.rewind();
+        BranchRecord rec;
+        while (source.next(rec))
+            total += static_cast<uint64_t>(rec.instGap) + 1;
+    }
+    uint64_t warmupLimit =
+        static_cast<uint64_t>(warmupFraction * total);
+
+    PredictorRunStats stats;
+    source.rewind();
+    BranchRecord rec;
+    uint64_t seenInstructions = 0;
+    while (source.next(rec)) {
+        seenInstructions += static_cast<uint64_t>(rec.instGap) + 1;
+        bool counting = seenInstructions > warmupLimit;
+
+        if (rec.isConditional()) {
+            bool pred = predictor.predict(rec.pc, rec.taken);
+            predictor.update(rec.pc, rec.taken, pred);
+            if (counting) {
+                ++stats.conditionals;
+                if (pred != rec.taken)
+                    ++stats.mispredicts;
+            }
+        }
+        predictor.onRecord(rec);
+
+        if (counting)
+            stats.instructions +=
+                static_cast<uint64_t>(rec.instGap) + 1;
+        else
+            stats.warmupInstructions +=
+                static_cast<uint64_t>(rec.instGap) + 1;
+    }
+    return stats;
+}
+
+} // namespace whisper

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Predictor-only trace driver (no timing): feeds a branch stream to
+ * a predictor and accumulates accuracy statistics, following the
+ * CBP-5 methodology of counting only conditional-branch
+ * mispredictions.
+ */
+
+#ifndef WHISPER_SIM_RUNNER_HH
+#define WHISPER_SIM_RUNNER_HH
+
+#include <cstdint>
+
+#include "bp/branch_predictor.hh"
+#include "trace/branch_source.hh"
+
+namespace whisper
+{
+
+/** Accuracy statistics of one run. */
+struct PredictorRunStats
+{
+    uint64_t instructions = 0;   //!< counted after warm-up
+    uint64_t conditionals = 0;
+    uint64_t mispredicts = 0;
+    uint64_t warmupInstructions = 0;
+
+    double
+    mpki() const
+    {
+        return instructions
+            ? 1000.0 * static_cast<double>(mispredicts) /
+                  instructions
+            : 0.0;
+    }
+
+    double
+    accuracy() const
+    {
+        return conditionals
+            ? 1.0 - static_cast<double>(mispredicts) / conditionals
+            : 1.0;
+    }
+};
+
+/**
+ * Run @p source to exhaustion through @p predictor.
+ *
+ * @param warmupFraction fraction of the stream's instructions whose
+ *        outcomes train the predictor but are excluded from the
+ *        statistics (Fig. 22's warm-up sweep)
+ */
+PredictorRunStats runPredictor(BranchSource &source,
+                               BranchPredictor &predictor,
+                               double warmupFraction = 0.0,
+                               uint64_t totalInstructionsHint = 0);
+
+} // namespace whisper
+
+#endif // WHISPER_SIM_RUNNER_HH

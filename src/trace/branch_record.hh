@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The unit of control-flow tracing: one executed branch.
+ *
+ * This mirrors the information Intel PT + LBR deliver in the paper's
+ * production profiling step: branch PC, its kind, the resolved
+ * direction, the target, and the number of non-branch instructions
+ * retired since the previous branch (used for MPKI and IPC
+ * accounting).
+ */
+
+#ifndef WHISPER_TRACE_BRANCH_RECORD_HH
+#define WHISPER_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+
+namespace whisper
+{
+
+/** Control-transfer classes distinguished by the frontend model. */
+enum class BranchKind : uint8_t
+{
+    Conditional,    //!< direct conditional branch
+    Unconditional,  //!< direct unconditional jump
+    Call,           //!< direct call
+    Return,         //!< function return
+    Indirect,       //!< indirect jump/call
+};
+
+/** One dynamic branch execution. */
+struct BranchRecord
+{
+    uint64_t pc = 0;        //!< address of the branch instruction
+    uint64_t target = 0;    //!< taken target address
+    BranchKind kind = BranchKind::Conditional;
+    bool taken = false;     //!< resolved direction
+    /**
+     * Sequential (non-branch) instructions retired since the previous
+     * branch record. The trace's instruction count is the sum of all
+     * instGap values plus one per branch.
+     */
+    uint16_t instGap = 0;
+
+    bool isConditional() const { return kind == BranchKind::Conditional; }
+};
+
+} // namespace whisper
+
+#endif // WHISPER_TRACE_BRANCH_RECORD_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Streaming interface for branch traces.
+ *
+ * Simulators and trainers consume BranchSource so that multi-hundred-
+ * million-branch runs never need to be materialized; synthetic
+ * workloads regenerate deterministically from their seed for
+ * multi-pass algorithms.
+ */
+
+#ifndef WHISPER_TRACE_BRANCH_SOURCE_HH
+#define WHISPER_TRACE_BRANCH_SOURCE_HH
+
+#include <cstdint>
+
+#include "trace/branch_record.hh"
+
+namespace whisper
+{
+
+/** Abstract producer of a branch stream. */
+class BranchSource
+{
+  public:
+    virtual ~BranchSource() = default;
+
+    /**
+     * Produce the next record.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(BranchRecord &rec) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void rewind() = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_TRACE_BRANCH_SOURCE_HH

@@ -1,0 +1,105 @@
+#include "trace/branch_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace whisper
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x57485254; // "WHRT"
+constexpr uint32_t kVersion = 1;
+
+} // namespace
+
+void
+BranchTrace::fill(BranchSource &source, uint64_t maxRecords)
+{
+    BranchRecord rec;
+    for (uint64_t i = 0; i < maxRecords && source.next(rec); ++i)
+        append(rec);
+}
+
+bool
+BranchTrace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    bool ok = true;
+    auto put = [&](const void *p, size_t n) {
+        if (ok && std::fwrite(p, 1, n, f) != n)
+            ok = false;
+    };
+
+    uint32_t magic = kMagic, version = kVersion;
+    put(&magic, sizeof(magic));
+    put(&version, sizeof(version));
+    uint32_t nameLen = static_cast<uint32_t>(app_.size());
+    put(&nameLen, sizeof(nameLen));
+    put(app_.data(), nameLen);
+    put(&inputId_, sizeof(inputId_));
+    uint64_t n = records_.size();
+    put(&n, sizeof(n));
+    put(records_.data(), n * sizeof(BranchRecord));
+
+    std::fclose(f);
+    return ok;
+}
+
+bool
+BranchTrace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+
+    bool ok = true;
+    auto get = [&](void *p, size_t n) {
+        if (ok && std::fread(p, 1, n, f) != n)
+            ok = false;
+    };
+
+    uint32_t magic = 0, version = 0;
+    get(&magic, sizeof(magic));
+    get(&version, sizeof(version));
+    if (!ok || magic != kMagic || version != kVersion) {
+        std::fclose(f);
+        return false;
+    }
+
+    uint32_t nameLen = 0;
+    get(&nameLen, sizeof(nameLen));
+    if (!ok || nameLen > 4096) {
+        std::fclose(f);
+        return false;
+    }
+    std::string name(nameLen, '\0');
+    get(name.data(), nameLen);
+    uint32_t inputId = 0;
+    get(&inputId, sizeof(inputId));
+    uint64_t n = 0;
+    get(&n, sizeof(n));
+    std::vector<BranchRecord> records(n);
+    get(records.data(), n * sizeof(BranchRecord));
+    std::fclose(f);
+    if (!ok)
+        return false;
+
+    app_ = std::move(name);
+    inputId_ = inputId;
+    records_ = std::move(records);
+    instructions_ = 0;
+    conditionals_ = 0;
+    for (const auto &rec : records_) {
+        instructions_ += rec.instGap + 1;
+        if (rec.isConditional())
+            ++conditionals_;
+    }
+    return true;
+}
+
+} // namespace whisper

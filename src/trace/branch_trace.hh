@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Materialized branch trace with binary (de)serialization.
+ */
+
+#ifndef WHISPER_TRACE_BRANCH_TRACE_HH
+#define WHISPER_TRACE_BRANCH_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "trace/branch_source.hh"
+
+namespace whisper
+{
+
+/**
+ * An in-memory branch trace.
+ *
+ * Stores the full record sequence plus identifying metadata (the
+ * application name and input id the trace was collected from).
+ */
+class BranchTrace
+{
+  public:
+    BranchTrace() = default;
+    BranchTrace(std::string app, uint32_t inputId)
+        : app_(std::move(app)), inputId_(inputId)
+    {
+    }
+
+    void
+    append(const BranchRecord &rec)
+    {
+        records_.push_back(rec);
+        instructions_ += rec.instGap + 1;
+        if (rec.isConditional())
+            ++conditionals_;
+    }
+
+    /** Drain @p source (up to @p maxRecords) into this trace. */
+    void fill(BranchSource &source, uint64_t maxRecords);
+
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const BranchRecord &operator[](size_t i) const { return records_[i]; }
+
+    /** Total retired instructions represented by the trace. */
+    uint64_t instructions() const { return instructions_; }
+    /** Number of conditional-branch records. */
+    uint64_t conditionals() const { return conditionals_; }
+
+    const std::string &app() const { return app_; }
+    uint32_t inputId() const { return inputId_; }
+
+    auto begin() const { return records_.begin(); }
+    auto end() const { return records_.end(); }
+
+    /** Binary round-trip. save() overwrites @p path; load() replaces
+     * the current contents. Both return false on I/O failure. */
+    bool save(const std::string &path) const;
+    bool load(const std::string &path);
+
+  private:
+    std::string app_;
+    uint32_t inputId_ = 0;
+    std::vector<BranchRecord> records_;
+    uint64_t instructions_ = 0;
+    uint64_t conditionals_ = 0;
+};
+
+/** BranchSource view over a materialized trace. */
+class TraceSource : public BranchSource
+{
+  public:
+    explicit TraceSource(const BranchTrace &trace) : trace_(trace) {}
+
+    bool
+    next(BranchRecord &rec) override
+    {
+        if (pos_ >= trace_.size())
+            return false;
+        rec = trace_[pos_++];
+        return true;
+    }
+
+    void rewind() override { pos_ = 0; }
+
+  private:
+    const BranchTrace &trace_;
+    size_t pos_ = 0;
+};
+
+/**
+ * BranchSource adaptor that truncates an underlying source after a
+ * fixed number of records (used for warm-up/length sweeps).
+ */
+class LimitSource : public BranchSource
+{
+  public:
+    LimitSource(BranchSource &inner, uint64_t limit)
+        : inner_(inner), limit_(limit)
+    {
+    }
+
+    bool
+    next(BranchRecord &rec) override
+    {
+        if (produced_ >= limit_)
+            return false;
+        if (!inner_.next(rec))
+            return false;
+        ++produced_;
+        return true;
+    }
+
+    void
+    rewind() override
+    {
+        inner_.rewind();
+        produced_ = 0;
+    }
+
+  private:
+    BranchSource &inner_;
+    uint64_t limit_;
+    uint64_t produced_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_TRACE_BRANCH_TRACE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Global branch history registers: a raw bit ring plus TAGE-style
+ * folded (hashed) views of configurable lengths.
+ */
+
+#ifndef WHISPER_TRACE_GLOBAL_HISTORY_HH
+#define WHISPER_TRACE_GLOBAL_HISTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+/**
+ * A folded view of the last @p length history bits compressed to
+ * @p width bits, maintained incrementally in O(1) per branch.
+ *
+ * This is the circular-shift-register construction used by TAGE for
+ * index/tag hashing and by Whisper for its 8-bit hashed histories
+ * (paper SIII-A: "branch predictors used in today's hardware already
+ * use a similar hashing mechanism").
+ */
+class FoldedHistory
+{
+  public:
+    FoldedHistory() = default;
+
+    /**
+     * @param length number of history bits covered (>= 1)
+     * @param width folded register width in bits (1..32)
+     */
+    FoldedHistory(unsigned length, unsigned width);
+
+    /**
+     * Push the newest bit and retire the bit that falls off the end
+     * of the covered window.
+     *
+     * @param newBit direction of the branch just resolved
+     * @param evictedBit value of the bit at distance 'length' before
+     *        this update (i.e., the one leaving the window)
+     */
+    void update(bool newBit, bool evictedBit);
+
+    uint32_t value() const { return folded_; }
+    unsigned length() const { return length_; }
+    unsigned width() const { return width_; }
+
+    void reset() { folded_ = 0; }
+
+  private:
+    unsigned length_ = 0;
+    unsigned width_ = 0;
+    unsigned outPoint_ = 0; //!< length % width: where evictions land
+    uint32_t folded_ = 0;
+};
+
+/**
+ * Global direction history with random access to recent bits and a
+ * bank of folded views.
+ *
+ * The raw ring stores the most recent 'capacity' outcomes (default
+ * 4096, comfortably above Whisper's N = 1024 maximum correlation
+ * length). bit(0) is the most recent outcome.
+ */
+class GlobalHistory
+{
+  public:
+    explicit GlobalHistory(unsigned capacity = 4096);
+
+    /** Record one resolved conditional-branch direction. */
+    void push(bool taken);
+
+    /** The i-th most recent direction (i = 0 is the newest). */
+    bool
+    bit(unsigned i) const
+    {
+        whisper_assert(i < capacity_);
+        return bits_[(head_ + capacity_ - 1 - i) % capacity_];
+    }
+
+    /** Number of outcomes pushed so far (not capped). */
+    uint64_t count() const { return count_; }
+    unsigned capacity() const { return capacity_; }
+
+    /**
+     * The last @p n bits packed into a uint64 (bit 0 = most recent).
+     * @p n must be <= 64.
+     */
+    uint64_t lastBits(unsigned n) const;
+
+    /**
+     * XOR-fold of the last @p length bits into @p width bits,
+     * computed from the raw ring (reference implementation; the
+     * folded registers below give the same quality in O(1)).
+     */
+    uint32_t foldedHash(unsigned length, unsigned width) const;
+
+    /**
+     * Register a folded view maintained incrementally. Returns the
+     * view's index for later lookup. Must be called before any
+     * push().
+     */
+    size_t addFoldedView(unsigned length, unsigned width);
+
+    /** Current value of folded view @p idx. */
+    uint32_t
+    foldedValue(size_t idx) const
+    {
+        return views_[idx].value();
+    }
+
+    const FoldedHistory &view(size_t idx) const { return views_[idx]; }
+    size_t numViews() const { return views_.size(); }
+
+    void reset();
+
+  private:
+    unsigned capacity_;
+    std::vector<uint8_t> bits_;
+    unsigned head_ = 0; //!< next write position
+    uint64_t count_ = 0;
+    std::vector<FoldedHistory> views_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_TRACE_GLOBAL_HISTORY_HH

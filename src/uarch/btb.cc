@@ -1,0 +1,70 @@
+#include "uarch/btb.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+Btb::Btb(unsigned entries, unsigned ways) : ways_(ways)
+{
+    whisper_assert(entries >= ways && ways >= 1);
+    numSets_ = entries / ways;
+    whisper_assert(isPowerOfTwo(numSets_));
+    sets_.assign(static_cast<size_t>(numSets_) * ways_, Entry{});
+}
+
+bool
+Btb::lookup(uint64_t pc, uint64_t &target)
+{
+    ++clock_;
+    size_t set = (pcIndexBits(pc) & (numSets_ - 1)) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = sets_[set + w];
+        if (e.valid && e.pc == pc) {
+            e.lastUse = clock_;
+            target = e.target;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    ++clock_;
+    size_t set = (pcIndexBits(pc) & (numSets_ - 1)) * ways_;
+    Entry *victim = &sets_[set];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = sets_[set + w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lastUse = clock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->pc = pc;
+    victim->target = target;
+    victim->valid = true;
+    victim->lastUse = clock_;
+}
+
+void
+Btb::reset()
+{
+    std::fill(sets_.begin(), sets_.end(), Entry{});
+    clock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace whisper

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Branch Target Buffer model (Table II: 8192-entry, 4-way).
+ */
+
+#ifndef WHISPER_UARCH_BTB_HH
+#define WHISPER_UARCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace whisper
+{
+
+/** Set-associative BTB with true-LRU replacement. */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power of two)
+     * @param ways associativity
+     */
+    explicit Btb(unsigned entries = 8192, unsigned ways = 4);
+
+    /**
+     * Look up the target for the branch at @p pc.
+     * @param target receives the stored target on hit
+     * @return true on hit
+     */
+    bool lookup(uint64_t pc, uint64_t &target);
+
+    /** Install/refresh the mapping after resolution. */
+    void update(uint64_t pc, uint64_t target);
+
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned ways_;
+    unsigned numSets_;
+    std::vector<Entry> sets_;
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UARCH_BTB_HH

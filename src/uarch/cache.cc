@@ -1,0 +1,150 @@
+#include "uarch/cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+Cache::Cache(uint64_t sizeBytes, unsigned ways, unsigned lineBytes)
+    : ways_(ways), lineBytes_(lineBytes)
+{
+    whisper_assert(isPowerOfTwo(lineBytes));
+    whisper_assert(ways >= 1);
+    uint64_t lines = sizeBytes / lineBytes;
+    whisper_assert(lines >= ways, "cache smaller than one set");
+    numSets_ = static_cast<unsigned>(lines / ways);
+    whisper_assert(numSets_ >= 1);
+    sets_.assign(static_cast<size_t>(numSets_) * ways_, Way{});
+}
+
+uint64_t
+Cache::lineFor(uint64_t addr) const
+{
+    return addr / lineBytes_;
+}
+
+Cache::Way *
+Cache::findWay(uint64_t line)
+{
+    size_t set = (line % numSets_) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = sets_[set + w];
+        if (way.valid && way.tag == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(uint64_t line) const
+{
+    size_t set = (line % numSets_) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Way &way = sets_[set + w];
+        if (way.valid && way.tag == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++clock_;
+    uint64_t line = lineFor(addr);
+    if (Way *way = findWay(line)) {
+        way->lastUse = clock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    fill(addr);
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    return findWay(lineFor(addr)) != nullptr;
+}
+
+bool
+Cache::fill(uint64_t addr)
+{
+    ++clock_;
+    uint64_t line = lineFor(addr);
+    if (Way *way = findWay(line)) {
+        way->lastUse = clock_;
+        return false;
+    }
+    size_t set = (line % numSets_) * ways_;
+    Way *victim = &sets_[set];
+    for (unsigned w = 1; w < ways_; ++w) {
+        Way &way = sets_[set + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->lastUse = clock_;
+    return true;
+}
+
+void
+Cache::reset()
+{
+    std::fill(sets_.begin(), sets_.end(), Way{});
+    clock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+InstructionHierarchy::InstructionHierarchy()
+    : InstructionHierarchy(Config{})
+{
+}
+
+InstructionHierarchy::InstructionHierarchy(const Config &cfg)
+    : cfg_(cfg), l1_(cfg.l1Bytes, cfg.l1Ways),
+      l2_(cfg.l2Bytes, cfg.l2Ways), l3_(cfg.l3Bytes, cfg.l3Ways)
+{
+}
+
+unsigned
+InstructionHierarchy::fetch(uint64_t addr)
+{
+    if (l1_.access(addr))
+        return 0;
+    if (l2_.access(addr))
+        return cfg_.l2Latency;
+    if (l3_.access(addr))
+        return cfg_.l3Latency;
+    return cfg_.memLatency;
+}
+
+void
+InstructionHierarchy::prefetch(uint64_t addr)
+{
+    // FDIP fills through the hierarchy ahead of fetch; by the time
+    // the fetch unit arrives the line is resident in L1.
+    if (!l1_.contains(addr)) {
+        l2_.access(addr);
+        l3_.access(addr);
+        l1_.fill(addr);
+    }
+}
+
+void
+InstructionHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+}
+
+} // namespace whisper

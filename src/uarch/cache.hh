@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement.
+ *
+ * Used for the L1i/L2/L3 instruction path of the frontend model
+ * (Table II: 32KB 8-way L1i, 1MB 16-way L2, 10MB 20-way L3).
+ */
+
+#ifndef WHISPER_UARCH_CACHE_HH
+#define WHISPER_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace whisper
+{
+
+/** A single cache level. */
+class Cache
+{
+  public:
+    /**
+     * @param sizeBytes total capacity
+     * @param ways associativity
+     * @param lineBytes line size (power of two)
+     */
+    Cache(uint64_t sizeBytes, unsigned ways,
+          unsigned lineBytes = 64);
+
+    /**
+     * Access the line containing @p addr; fills on miss.
+     * @return true on hit
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without fill or LRU update. */
+    bool contains(uint64_t addr) const;
+
+    /** Install the line (prefetch path). @return true if new. */
+    bool fill(uint64_t addr);
+
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint64_t lineFor(uint64_t addr) const;
+    Way *findWay(uint64_t line);
+    const Way *findWay(uint64_t line) const;
+
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned numSets_;
+    std::vector<Way> sets_;
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Three-level instruction-side hierarchy with fixed latencies. */
+class InstructionHierarchy
+{
+  public:
+    struct Config
+    {
+        uint64_t l1Bytes = 32 * 1024;
+        unsigned l1Ways = 8;
+        uint64_t l2Bytes = 1024 * 1024;
+        unsigned l2Ways = 16;
+        uint64_t l3Bytes = 10 * 1024 * 1024;
+        unsigned l3Ways = 20;
+        unsigned l2Latency = 12;   //!< cycles on L1 miss, L2 hit
+        unsigned l3Latency = 40;
+        unsigned memLatency = 200;
+    };
+
+    InstructionHierarchy();
+    explicit InstructionHierarchy(const Config &cfg);
+
+    /**
+     * Demand-fetch the line of @p addr through the hierarchy.
+     * @return added latency in cycles (0 = L1 hit)
+     */
+    unsigned fetch(uint64_t addr);
+
+    /** Prefetch the line into L1 (FDIP path); no latency charged. */
+    void prefetch(uint64_t addr);
+
+    void reset();
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+
+  private:
+    Config cfg_;
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UARCH_CACHE_HH

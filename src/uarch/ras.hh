@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Return Address Stack and Indirect-target BTB (Table II: 32-entry
+ * RAS, 4096-entry IBTB).
+ */
+
+#ifndef WHISPER_UARCH_RAS_HH
+#define WHISPER_UARCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/global_history.hh"
+#include "util/bits.hh"
+
+namespace whisper
+{
+
+/**
+ * Circular return-address stack. Overflow wraps (oldest entries are
+ * silently overwritten), underflow predicts 0 — both behaviours of
+ * real bounded RAS hardware.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries = 32)
+        : stack_(entries, 0)
+    {
+    }
+
+    /** Push the return address of a call. */
+    void
+    push(uint64_t returnAddr)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = returnAddr;
+        if (depth_ < stack_.size())
+            ++depth_;
+    }
+
+    /** Predict (and pop) the target of a return. */
+    uint64_t
+    pop()
+    {
+        if (depth_ == 0)
+            return 0;
+        uint64_t addr = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --depth_;
+        return addr;
+    }
+
+    size_t capacity() const { return stack_.size(); }
+    size_t depth() const { return depth_; }
+
+    void
+    reset()
+    {
+        std::fill(stack_.begin(), stack_.end(), 0);
+        top_ = 0;
+        depth_ = 0;
+    }
+
+  private:
+    std::vector<uint64_t> stack_;
+    size_t top_ = 0;
+    size_t depth_ = 0;
+};
+
+/**
+ * Indirect-target predictor: a direct-mapped target cache indexed by
+ * PC xor folded path history (ITTAGE-flavoured single table, the
+ * IBTB of Table II).
+ */
+class IndirectBtb
+{
+  public:
+    explicit IndirectBtb(unsigned entries = 4096,
+                         unsigned historyLen = 16)
+        : logEntries_(ceilLog2(entries)),
+          entries_(1ULL << logEntries_), history_(64)
+    {
+        view_ = history_.addFoldedView(historyLen, logEntries_);
+    }
+
+    /** Predicted target for the indirect branch at @p pc (0 if
+     * never seen in this context). */
+    uint64_t
+    predict(uint64_t pc) const
+    {
+        return entries_[indexFor(pc)].target;
+    }
+
+    /** Train with the resolved target and advance path history. */
+    void
+    update(uint64_t pc, uint64_t target)
+    {
+        Entry &e = entries_[indexFor(pc)];
+        e.target = target;
+        // Fold target bits into the path history (direction-less
+        // branches still shape indirect contexts).
+        history_.push((target >> 4) & 1);
+    }
+
+    void
+    reset()
+    {
+        std::fill(entries_.begin(), entries_.end(), Entry{});
+        history_.reset();
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t target = 0;
+    };
+
+    size_t
+    indexFor(uint64_t pc) const
+    {
+        return (pcIndexBits(pc) ^ history_.foldedValue(view_)) &
+               maskBits(logEntries_);
+    }
+
+    unsigned logEntries_;
+    std::vector<Entry> entries_;
+    GlobalHistory history_;
+    size_t view_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UARCH_RAS_HH

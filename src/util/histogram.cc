@@ -1,0 +1,80 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+BucketHistogram::BucketHistogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    whisper_assert(!bounds_.empty());
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        whisper_assert(bounds_[i] > bounds_[i - 1],
+                       "bounds must be strictly increasing");
+}
+
+void
+BucketHistogram::add(uint64_t value, uint64_t weight)
+{
+    size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+    counts_[i] += weight;
+    total_ += weight;
+}
+
+double
+BucketHistogram::bucketFraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+BucketHistogram::bucketLabel(size_t i) const
+{
+    whisper_assert(i < counts_.size());
+    if (i == bounds_.size())
+        return std::to_string(bounds_.back()) + "+";
+    uint64_t lo = i == 0 ? 0 : bounds_[i - 1] + 1;
+    uint64_t hi = bounds_[i];
+    if (lo == hi)
+        return std::to_string(lo);
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+void
+CountHistogram::add(uint64_t key, uint64_t weight)
+{
+    counts_[key] += weight;
+    total_ += weight;
+}
+
+double
+CountHistogram::topFraction(size_t n) const
+{
+    if (total_ == 0 || n == 0)
+        return 0.0;
+    auto weights = sortedWeights();
+    uint64_t sum = 0;
+    for (size_t i = 0; i < std::min(n, weights.size()); ++i)
+        sum += weights[i];
+    return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+std::vector<uint64_t>
+CountHistogram::sortedWeights() const
+{
+    std::vector<uint64_t> weights;
+    weights.reserve(counts_.size());
+    for (const auto &[key, weight] : counts_)
+        weights.push_back(weight);
+    std::sort(weights.begin(), weights.end(), std::greater<>());
+    return weights;
+}
+
+} // namespace whisper

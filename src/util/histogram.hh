@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simple histogram containers used by the analysis passes.
+ */
+
+#ifndef WHISPER_UTIL_HISTOGRAM_HH
+#define WHISPER_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace whisper
+{
+
+/**
+ * A histogram over user-defined bucket upper bounds.
+ *
+ * Bucket i counts samples with value <= bound[i] (and greater than
+ * bound[i-1]); a final overflow bucket counts everything beyond the
+ * last bound.
+ */
+class BucketHistogram
+{
+  public:
+    /** @param bounds strictly increasing inclusive upper bounds. */
+    explicit BucketHistogram(std::vector<uint64_t> bounds);
+
+    /** Record @p value with the given weight. */
+    void add(uint64_t value, uint64_t weight = 1);
+
+    /** Number of buckets including the overflow bucket. */
+    size_t numBuckets() const { return counts_.size(); }
+
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+    uint64_t total() const { return total_; }
+
+    /** Fraction of all weight falling in bucket @p i (0 if empty). */
+    double bucketFraction(size_t i) const;
+
+    /** Human-readable label for bucket @p i, e.g. "9-16" or "1024+". */
+    std::string bucketLabel(size_t i) const;
+
+    const std::vector<uint64_t> &bounds() const { return bounds_; }
+
+  private:
+    std::vector<uint64_t> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * An exact counting histogram over arbitrary integer keys, with
+ * helpers for CDF-style summaries (used for Fig. 5's misprediction
+ * concentration curves).
+ */
+class CountHistogram
+{
+  public:
+    void add(uint64_t key, uint64_t weight = 1);
+
+    uint64_t total() const { return total_; }
+    size_t numKeys() const { return counts_.size(); }
+
+    /**
+     * Cumulative fraction of all weight captured by the @p n
+     * heaviest keys.
+     */
+    double topFraction(size_t n) const;
+
+    /** Weights sorted descending. */
+    std::vector<uint64_t> sortedWeights() const;
+
+    const std::map<uint64_t, uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::map<uint64_t, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UTIL_HISTOGRAM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- internal invariant violated; aborts (library bug).
+ * fatal()  -- the caller supplied an impossible configuration; exits.
+ * warn()   -- something questionable happened, execution continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef WHISPER_UTIL_LOGGING_HH
+#define WHISPER_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace whisper
+{
+
+namespace detail
+{
+
+/** Build a message string from any streamable argument pack. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] inline void
+reportAndAbort(const char *kind, const char *file, int line,
+               const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+reportAndExit(const char *kind, const char *file, int line,
+              const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace whisper
+
+/** Internal invariant violated: abort with a message. */
+#define whisper_panic(...)                                                  \
+    ::whisper::detail::reportAndAbort(                                      \
+        "panic", __FILE__, __LINE__,                                        \
+        ::whisper::detail::formatMessage(__VA_ARGS__))
+
+/** User/configuration error: exit(1) with a message. */
+#define whisper_fatal(...)                                                  \
+    ::whisper::detail::reportAndExit(                                       \
+        "fatal", __FILE__, __LINE__,                                        \
+        ::whisper::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning on stderr. */
+#define whisper_warn(...)                                                   \
+    std::fprintf(stderr, "warn: %s\n",                                      \
+                 ::whisper::detail::formatMessage(__VA_ARGS__).c_str())
+
+/** Status message on stdout. */
+#define whisper_inform(...)                                                 \
+    std::fprintf(stdout, "info: %s\n",                                      \
+                 ::whisper::detail::formatMessage(__VA_ARGS__).c_str())
+
+/** panic() unless the condition holds. */
+#define whisper_assert(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::whisper::detail::reportAndAbort(                              \
+                "assert", __FILE__, __LINE__,                               \
+                ::whisper::detail::formatMessage(                           \
+                    "failed condition '" #cond "' " __VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
+
+#endif // WHISPER_UTIL_LOGGING_HH

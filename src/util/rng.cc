@@ -1,0 +1,101 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // splitmix64 expansion of the seed into the full state.
+    uint64_t x = seed;
+    for (auto &s : s_) {
+        x += 0x9e3779b97f4a7c15ULL;
+        s = mix64(x);
+    }
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    whisper_assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    whisper_assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian(double stddev)
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return stddev * std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<uint32_t>
+Rng::permutation(uint32_t n)
+{
+    std::vector<uint32_t> v(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v[i] = i;
+    shuffle(v);
+    return v;
+}
+
+} // namespace whisper

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (synthetic workloads,
+ * randomized formula testing, CNN weight initialization) flows through
+ * Rng so that every experiment is reproducible from a single seed.
+ */
+
+#ifndef WHISPER_UTIL_RNG_HH
+#define WHISPER_UTIL_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace whisper
+{
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Small, fast, and high quality; seeded via splitmix64 so that any
+ * 64-bit seed yields a well-mixed initial state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed0001ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Gaussian sample (Box-Muller), mean 0 and the given std dev. */
+    double nextGaussian(double stddev = 1.0);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * In-place Fisher-Yates shuffle.
+     *
+     * This is the algorithm Whisper's randomized formula testing uses
+     * to derive its single global permutation of formula encodings.
+     */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** A random permutation of [0, n). */
+    std::vector<uint32_t> permutation(uint32_t n);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UTIL_RNG_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Saturating counter primitives used throughout the predictors.
+ */
+
+#ifndef WHISPER_UTIL_SAT_COUNTER_HH
+#define WHISPER_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+/**
+ * An unsigned saturating counter of a configurable bit width.
+ *
+ * The counter saturates at [0, 2^bits - 1]. Branch-prediction
+ * convention: the upper half of the range means "predict taken".
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** @param bits counter width; @param initial starting value. */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : _max((1u << bits) - 1), _value(initial)
+    {
+        whisper_assert(bits >= 1 && bits <= 16, "bits=", bits);
+        whisper_assert(initial <= _max);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (_value < _max)
+            ++_value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (_value > 0)
+            --_value;
+    }
+
+    /** Move towards taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Predicted direction: true when in the upper half of the range. */
+    bool predictTaken() const { return _value > _max / 2; }
+
+    /** True when saturated at either end's outermost value. */
+    bool isSaturated() const { return _value == 0 || _value == _max; }
+
+    /** True for the two middle (weak) states. */
+    bool
+    isWeak() const
+    {
+        return _value == _max / 2 || _value == _max / 2 + 1;
+    }
+
+    unsigned value() const { return _value; }
+    unsigned maxValue() const { return _max; }
+
+    void
+    set(unsigned v)
+    {
+        whisper_assert(v <= _max);
+        _value = v;
+    }
+
+    /** Reset to the weakly-not-taken middle state. */
+    void reset() { _value = _max / 2; }
+
+  private:
+    unsigned _max = 3;
+    unsigned _value = 0;
+};
+
+/**
+ * A signed saturating counter in [-2^(bits-1), 2^(bits-1) - 1],
+ * as used by TAGE tagged entries and the statistical corrector.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter() = default;
+
+    explicit SignedSatCounter(unsigned bits, int initial = 0)
+        : _min(-(1 << (bits - 1))), _max((1 << (bits - 1)) - 1),
+          _value(initial)
+    {
+        whisper_assert(bits >= 2 && bits <= 16, "bits=", bits);
+        whisper_assert(initial >= _min && initial <= _max);
+    }
+
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (_value < _max)
+                ++_value;
+        } else {
+            if (_value > _min)
+                --_value;
+        }
+    }
+
+    bool predictTaken() const { return _value >= 0; }
+
+    /** Magnitude-based confidence: distance from the decision border. */
+    int confidence() const { return _value >= 0 ? _value : -_value - 1; }
+
+    bool isSaturated() const { return _value == _min || _value == _max; }
+
+    /** Weak states are the two adjacent to the decision boundary. */
+    bool isWeak() const { return _value == 0 || _value == -1; }
+
+    int value() const { return _value; }
+    int minValue() const { return _min; }
+    int maxValue() const { return _max; }
+
+    void
+    set(int v)
+    {
+        whisper_assert(v >= _min && v <= _max);
+        _value = v;
+    }
+
+  private:
+    int _min = -2;
+    int _max = 1;
+    int _value = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parameterized application models.
+ *
+ * The paper profiles 12 proprietary-workload data center
+ * applications (Table I) via Intel PT. We model each one as a
+ * synthetic control-flow generator whose emitted branch stream
+ * reproduces the statistical properties the paper's analysis
+ * depends on; see DESIGN.md section 2 for the substitution
+ * rationale. A second family models SPEC2017-like benchmarks
+ * (small footprint, concentrated mispredictions) for Fig. 5a.
+ */
+
+#ifndef WHISPER_WORKLOADS_APP_CONFIG_HH
+#define WHISPER_WORKLOADS_APP_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whisper
+{
+
+/** Static behaviour classes assigned to synthetic branches. */
+enum class BehaviorKind : uint8_t
+{
+    Biased,        //!< Bernoulli(p), p near 0 or 1
+    Loop,          //!< taken (period-1) times, then one not-taken
+    ShortHistory,  //!< Boolean function of the raw last-8 outcomes
+    HashedHistory, //!< Boolean function of an 8-bit hash of the
+                   //!< last-L outcomes, L from Whisper's series
+    Random,        //!< conditional-on-data: independent Bernoulli(p)
+};
+
+/** Mix weights over the Fig. 7 formula-op families. */
+struct OpFamilyMix
+{
+    double andW = 0.35;
+    double orW = 0.10;
+    double implW = 0.15;
+    double cnimplW = 0.15;
+    double mixedW = 0.25; //!< mixed ops / inverted ("Others")
+};
+
+/** Everything that defines one synthetic application. */
+struct AppConfig
+{
+    std::string name;
+    uint64_t seed = 1;
+
+    // --- code footprint ---
+    unsigned numRegions = 1200;       //!< functions/blocks of hot code
+    unsigned minBranchesPerRegion = 6;
+    unsigned maxBranchesPerRegion = 28;
+    double zipfTheta = 0.55;          //!< request-type popularity skew
+    double avgInstGap = 8.0;          //!< instructions between branches
+
+    /**
+     * Control flow is organized as request types: each type is a
+     * fixed region sequence (think "query plan" or "URL handler"),
+     * and execution repeatedly services Zipf-distributed request
+     * types. Repeating sequences are what make branch history
+     * recur — the predictability that predictor capacity then
+     * gates.
+     */
+    unsigned numRequestTypes = 150;
+    unsigned requestLenMin = 4;   //!< regions per request
+    unsigned requestLenMax = 14;
+    double regionZipfTheta = 0.6; //!< shared-helper-function skew
+
+    // --- behaviour mix (weights, normalized internally) ---
+    double wBiased = 0.62;
+    double wLoop = 0.04;
+    double wShortHistory = 0.18;
+    double wHashedHistory = 0.13;
+    double wRandom = 0.03;
+
+    // --- behaviour parameters ---
+    double biasNoiseMax = 0.008; //!< residual flip rate of biased brs
+    double histNoiseMin = 0.005;  //!< noise floor of correlated brs
+    double histNoiseMax = 0.06;
+    double randomPMin = 0.75;    //!< data-dependent taken-rate band
+    double randomPMax = 0.97;
+    unsigned loopPeriodMin = 3;
+    unsigned loopPeriodMax = 12;
+    /** ShortHistory branches depend on the raw last-k outcomes with
+     * k drawn from this band: the per-branch context count (2^k)
+     * sets how much predictor capacity the class demands. */
+    unsigned shortHistBitsMin = 3;
+    unsigned shortHistBitsMax = 6;
+    /** Correlation lengths are drawn from Whisper's geometric series
+     * restricted to [minCorrelationIdx, maxCorrelationIdx]. */
+    unsigned minCorrelationIdx = 2;  //!< series index (2 -> len 15)
+    unsigned maxCorrelationIdx = 15; //!< series index (15 -> 1024)
+
+    OpFamilyMix opMix;
+
+    /** Fraction of branches whose parameters shift across inputs. */
+    double inputSensitiveFrac = 0.08;
+    /** Fraction of region popularity ranks reshuffled per input. */
+    double inputRankShuffle = 0.08;
+};
+
+/** The 12 data center applications of Table I. */
+const std::vector<AppConfig> &dataCenterApps();
+
+/** SPEC2017-like integer benchmarks (Fig. 5a). */
+const std::vector<AppConfig> &specApps();
+
+/** Lookup by name across both catalogs; fatal if unknown. */
+const AppConfig &appByName(const std::string &name);
+
+} // namespace whisper
+
+#endif // WHISPER_WORKLOADS_APP_CONFIG_HH

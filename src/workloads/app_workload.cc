@@ -1,0 +1,435 @@
+#include "workloads/app_workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+constexpr uint64_t kCodeBase = 0x400000;
+constexpr unsigned kInstrBytes = 16;
+constexpr unsigned kMaxLoopEmit = 64;
+constexpr uint64_t kRegionBytes = 4096; //!< reserved span per region
+/** Per-region direct-call stubs (the "caller" code). */
+constexpr uint64_t kCallStubBase = 0x200000;
+/** Shared virtual-dispatch sites for request entry points. */
+constexpr uint64_t kDispatchBase = 0x100000;
+constexpr unsigned kDispatchSites = 8;
+
+} // namespace
+
+AppWorkload::AppWorkload(const AppConfig &cfg, uint32_t inputId,
+                         uint64_t numBranches)
+    : cfg_(cfg), inputId_(inputId), numBranches_(numBranches),
+      lengths_(geometricLengths(WhisperConfig{})),
+      runRng_(cfg.seed ^ (0xABCD0000ULL + inputId)),
+      history_(4096)
+{
+    whisper_assert(cfg.numRegions >= 1);
+    whisper_assert(cfg.minBranchesPerRegion >= 1 &&
+                   cfg.maxBranchesPerRegion >=
+                       cfg.minBranchesPerRegion);
+    whisper_assert(cfg.maxCorrelationIdx < lengths_.size());
+    whisper_assert(cfg.minCorrelationIdx <= cfg.maxCorrelationIdx);
+
+    for (unsigned len : lengths_)
+        history_.addFoldedView(len, 8);
+
+    buildStatics();
+    buildInputView();
+    execCounter_.assign(sites_.size(), 0);
+}
+
+void
+AppWorkload::buildStatics()
+{
+    Rng rng(cfg_.seed);
+
+    double wSum = cfg_.wBiased + cfg_.wLoop + cfg_.wShortHistory +
+                  cfg_.wHashedHistory + cfg_.wRandom;
+    whisper_assert(wSum > 0.0);
+
+    auto pickKind = [&]() {
+        double u = rng.nextDouble() * wSum;
+        if ((u -= cfg_.wBiased) < 0)
+            return BehaviorKind::Biased;
+        if ((u -= cfg_.wLoop) < 0)
+            return BehaviorKind::Loop;
+        if ((u -= cfg_.wShortHistory) < 0)
+            return BehaviorKind::ShortHistory;
+        if ((u -= cfg_.wHashedHistory) < 0)
+            return BehaviorKind::HashedHistory;
+        return BehaviorKind::Random;
+    };
+
+    auto pickFormula = [&]() {
+        const OpFamilyMix &mix = cfg_.opMix;
+        double total = mix.andW + mix.orW + mix.implW + mix.cnimplW +
+                       mix.mixedW;
+        double u = rng.nextDouble() * total;
+        bool mixed = false;
+        BoolOp root = BoolOp::And;
+        if ((u -= mix.andW) < 0)
+            root = BoolOp::And;
+        else if ((u -= mix.orW) < 0)
+            root = BoolOp::Or;
+        else if ((u -= mix.implW) < 0)
+            root = BoolOp::Impl;
+        else if ((u -= mix.cnimplW) < 0)
+            root = BoolOp::Cnimpl;
+        else
+            mixed = true;
+
+        // 7 nodes * 2 bits + inversion bit; the root is node 6.
+        uint16_t enc = 0;
+        for (unsigned node = 0; node < 6; ++node) {
+            enc |= static_cast<uint16_t>(rng.nextBelow(4))
+                   << (2 * node);
+        }
+        if (mixed) {
+            enc |= static_cast<uint16_t>(rng.nextBelow(4)) << 12;
+            enc |= 1u << 14; // inverted -> classified "Others"
+        } else {
+            enc |= static_cast<uint16_t>(root) << 12;
+        }
+        return BoolFormula(enc, 8);
+    };
+
+    regionBase_.resize(cfg_.numRegions);
+    regionFirstSite_.resize(cfg_.numRegions);
+    regionNumSites_.resize(cfg_.numRegions);
+    staticInstructions_ = 0;
+
+    // Scatter region base addresses across a large code segment the
+    // way linked binaries do: branch PCs must be dense and
+    // irregular in their low bits or predictor indexing degenerates.
+    uint64_t codeSpan = std::max<uint64_t>(
+        64ULL << 20, cfg_.numRegions * kRegionBytes * 8);
+    std::vector<uint64_t> claimed;
+    claimed.reserve(cfg_.numRegions);
+    for (unsigned r = 0; r < cfg_.numRegions; ++r) {
+        for (;;) {
+            uint64_t slot = rng.nextBelow(codeSpan / kRegionBytes);
+            bool clash = false;
+            for (uint64_t c : claimed) {
+                if (c == slot) {
+                    clash = true;
+                    break;
+                }
+            }
+            if (!clash) {
+                claimed.push_back(slot);
+                regionBase_[r] = kCodeBase + slot * kRegionBytes +
+                                 (rng.nextBelow(64) * kInstrBytes);
+                break;
+            }
+        }
+    }
+
+    for (unsigned r = 0; r < cfg_.numRegions; ++r) {
+        unsigned n = static_cast<unsigned>(
+            rng.nextRange(cfg_.minBranchesPerRegion,
+                          cfg_.maxBranchesPerRegion));
+        regionFirstSite_[r] = static_cast<uint32_t>(sites_.size());
+        regionNumSites_[r] = n;
+        uint64_t base = regionBase_[r];
+        for (unsigned i = 0; i < n; ++i) {
+            BranchSite s;
+            s.pc = base + (i + 1) * kInstrBytes;
+            s.kind = pickKind();
+            s.inputSensitive =
+                rng.nextBool(cfg_.inputSensitiveFrac);
+            switch (s.kind) {
+              case BehaviorKind::Biased:
+                // The majority direction is code structure (an error
+                // path stays an error path across inputs); only the
+                // residual rate varies per input.
+                s.takenBiasedDir = rng.nextBool(0.85);
+                break;
+              case BehaviorKind::Loop:
+                s.loopPeriod = static_cast<unsigned>(
+                    rng.nextRange(cfg_.loopPeriodMin,
+                                  cfg_.loopPeriodMax));
+                break;
+              case BehaviorKind::ShortHistory:
+                s.formula = pickFormula();
+                s.lengthIdx = 0;
+                s.histLen = static_cast<unsigned>(
+                    rng.nextRange(cfg_.shortHistBitsMin,
+                                  cfg_.shortHistBitsMax));
+                s.noise = cfg_.histNoiseMin +
+                          rng.nextDouble() *
+                              (cfg_.histNoiseMax - cfg_.histNoiseMin);
+                break;
+              case BehaviorKind::HashedHistory:
+                s.formula = pickFormula();
+                s.lengthIdx = static_cast<unsigned>(
+                    rng.nextRange(cfg_.minCorrelationIdx,
+                                  cfg_.maxCorrelationIdx));
+                s.histLen = lengths_[s.lengthIdx];
+                s.noise = cfg_.histNoiseMin +
+                          rng.nextDouble() *
+                              (cfg_.histNoiseMax - cfg_.histNoiseMin);
+                break;
+              case BehaviorKind::Random:
+                break;
+            }
+            sites_.push_back(s);
+        }
+        staticInstructions_ += static_cast<uint64_t>(
+            n * cfg_.avgInstGap + n + 2);
+    }
+
+    // Request types: fixed region sequences drawn with a Zipf over
+    // regions (hot helper regions appear in many types).
+    std::vector<double> regionCdf(cfg_.numRegions);
+    std::vector<uint32_t> regionRank = rng.permutation(cfg_.numRegions);
+    double sum = 0.0;
+    for (unsigned r = 0; r < cfg_.numRegions; ++r) {
+        sum += std::pow(static_cast<double>(regionRank[r] + 1),
+                        -cfg_.regionZipfTheta);
+        regionCdf[r] = sum;
+    }
+    for (auto &v : regionCdf)
+        v /= sum;
+
+    requestTypes_.resize(cfg_.numRequestTypes);
+    for (auto &type : requestTypes_) {
+        unsigned len = static_cast<unsigned>(
+            rng.nextRange(cfg_.requestLenMin, cfg_.requestLenMax));
+        type.reserve(len);
+        for (unsigned i = 0; i < len; ++i) {
+            double u = rng.nextDouble();
+            auto it = std::lower_bound(regionCdf.begin(),
+                                       regionCdf.end(), u);
+            if (it == regionCdf.end())
+                --it;
+            type.push_back(
+                static_cast<uint32_t>(it - regionCdf.begin()));
+        }
+    }
+}
+
+void
+AppWorkload::buildInputView()
+{
+    // Request-type popularity: a base rank permutation derived from
+    // the structural seed, partially reshuffled per input (different
+    // inputs exercise different query/request mixes).
+    Rng baseRng(mix64(cfg_.seed ^ 0x5EEDBA5EULL));
+    std::vector<uint32_t> rank =
+        baseRng.permutation(cfg_.numRequestTypes);
+
+    if (inputId_ != 0 && cfg_.inputRankShuffle > 0.0) {
+        Rng inRng(mix64(cfg_.seed) ^ mix64(0x1000 + inputId_));
+        auto swaps = static_cast<uint64_t>(
+            cfg_.inputRankShuffle * cfg_.numRequestTypes);
+        for (uint64_t i = 0; i < swaps; ++i) {
+            size_t a = inRng.nextBelow(cfg_.numRequestTypes);
+            size_t b = inRng.nextBelow(cfg_.numRequestTypes);
+            std::swap(rank[a], rank[b]);
+        }
+    }
+
+    typeCdf_.resize(cfg_.numRequestTypes);
+    double sum = 0.0;
+    for (unsigned t = 0; t < cfg_.numRequestTypes; ++t) {
+        sum += std::pow(static_cast<double>(rank[t] + 1),
+                        -cfg_.zipfTheta);
+        typeCdf_[t] = sum;
+    }
+    for (auto &v : typeCdf_)
+        v /= sum;
+
+    // Per-input parameters for biased/random sites. Input-sensitive
+    // sites derive their parameters from the actual input id; stable
+    // sites always use input 0's stream.
+    for (auto &s : sites_) {
+        uint64_t salt = s.inputSensitive ? inputId_ : 0;
+        Rng prng(mix64(cfg_.seed ^ s.pc) ^ mix64(0x2000 + salt));
+        switch (s.kind) {
+          case BehaviorKind::Biased: {
+            // Mostly strongly taken-biased, some not-taken-biased
+            // (Fig. 7: always-taken 23.3% vs never-taken 5.9%).
+            // Input-sensitive sites see a higher residual rate on
+            // non-training inputs, never a direction flip.
+            double flipCap = s.inputSensitive && salt != 0
+                ? 4.0 * cfg_.biasNoiseMax
+                : cfg_.biasNoiseMax;
+            double flip = prng.nextDouble() * flipCap;
+            s.param = s.takenBiasedDir ? 1.0 - flip : flip;
+            break;
+          }
+          case BehaviorKind::Random: {
+            s.param = cfg_.randomPMin +
+                      prng.nextDouble() *
+                          (cfg_.randomPMax - cfg_.randomPMin);
+            break;
+          }
+          case BehaviorKind::ShortHistory:
+          case BehaviorKind::HashedHistory: {
+            if (s.inputSensitive) {
+                // The correlation weakens on other inputs.
+                s.noise = std::min(
+                    0.5, s.noise + 0.08 * prng.nextDouble() *
+                                       (salt != 0 ? 1.0 : 0.0));
+            }
+            break;
+          }
+          case BehaviorKind::Loop:
+            break;
+        }
+    }
+}
+
+unsigned
+AppWorkload::sampleRequestType()
+{
+    double u = runRng_.nextDouble();
+    auto it = std::lower_bound(typeCdf_.begin(), typeCdf_.end(), u);
+    if (it == typeCdf_.end())
+        --it;
+    return static_cast<unsigned>(it - typeCdf_.begin());
+}
+
+bool
+AppWorkload::resolveOutcome(BranchSite &site)
+{
+    double u = runRng_.nextDouble();
+    bool taken = false;
+    switch (site.kind) {
+      case BehaviorKind::Biased:
+      case BehaviorKind::Random:
+        taken = u < site.param;
+        break;
+      case BehaviorKind::ShortHistory: {
+        // Replicate the k raw bits across the formula's 8 inputs so
+        // the dependence stays non-degenerate for any tree shape.
+        uint64_t raw = history_.lastBits(site.histLen);
+        uint64_t bits = 0;
+        for (unsigned sh = 0; sh < 8; sh += site.histLen)
+            bits |= raw << sh;
+        taken = site.formula.evaluate(
+            static_cast<uint8_t>(bits & 0xFF));
+        if (u < site.noise)
+            taken = !taken;
+        break;
+      }
+      case BehaviorKind::HashedHistory: {
+        uint8_t bits = static_cast<uint8_t>(
+            history_.foldedValue(site.lengthIdx));
+        taken = site.formula.evaluate(bits);
+        if (u < site.noise)
+            taken = !taken;
+        break;
+      }
+      case BehaviorKind::Loop:
+        whisper_panic("loops are expanded in emitRegion");
+    }
+    return taken;
+}
+
+void
+AppWorkload::emitRegion(unsigned region, uint64_t callPc,
+                        BranchKind callKind)
+{
+    uint64_t base = regionBase_[region];
+    auto gap = [&]() {
+        double maxGap = 2.0 * cfg_.avgInstGap - 1.0;
+        return static_cast<uint16_t>(
+            1 + runRng_.nextBelow(static_cast<uint64_t>(maxGap)));
+    };
+
+    BranchRecord rec;
+    rec.pc = callPc;
+    rec.target = base;
+    rec.kind = callKind;
+    rec.taken = true;
+    rec.instGap = gap();
+    pending_.push_back(rec);
+
+    uint32_t first = regionFirstSite_[region];
+    uint32_t n = regionNumSites_[region];
+    for (uint32_t i = 0; i < n; ++i) {
+        BranchSite &site = sites_[first + i];
+        unsigned repeats = 1;
+        if (site.kind == BehaviorKind::Loop)
+            repeats = std::min(site.loopPeriod, kMaxLoopEmit);
+
+        for (unsigned it = 0; it < repeats; ++it) {
+            bool taken;
+            if (site.kind == BehaviorKind::Loop) {
+                // Loop back-edge: taken until the final iteration.
+                taken = it + 1 < repeats;
+            } else {
+                taken = resolveOutcome(site);
+            }
+            ++execCounter_[first + i];
+            BranchRecord br;
+            br.pc = site.pc;
+            br.target = taken ? site.pc - kInstrBytes
+                              : site.pc + kInstrBytes;
+            br.kind = BranchKind::Conditional;
+            br.taken = taken;
+            br.instGap = gap();
+            pending_.push_back(br);
+            history_.push(taken);
+        }
+    }
+
+    BranchRecord ret;
+    ret.pc = base + (n + 1) * kInstrBytes;
+    ret.target = callPc + kInstrBytes; // back to the call site
+    ret.kind = BranchKind::Return;
+    ret.taken = true;
+    ret.instGap = gap();
+    pending_.push_back(ret);
+}
+
+bool
+AppWorkload::next(BranchRecord &rec)
+{
+    if (emitted_ >= numBranches_)
+        return false;
+    while (pending_.empty()) {
+        unsigned type = sampleRequestType();
+        const auto &regions = requestTypes_[type];
+        for (size_t i = 0; i < regions.size(); ++i) {
+            if (i == 0) {
+                // Request entry goes through a shared virtual-
+                // dispatch site (indirect call, IBTB territory).
+                uint64_t site = kDispatchBase +
+                                (type % kDispatchSites) * kInstrBytes;
+                emitRegion(regions[i], site, BranchKind::Indirect);
+            } else {
+                // Body regions are reached via per-region direct
+                // call stubs.
+                uint64_t stub = kCallStubBase +
+                                regions[i] * kInstrBytes;
+                emitRegion(regions[i], stub, BranchKind::Call);
+            }
+        }
+    }
+    rec = pending_.front();
+    pending_.pop_front();
+    ++emitted_;
+    return true;
+}
+
+void
+AppWorkload::rewind()
+{
+    runRng_ = Rng(cfg_.seed ^ (0xABCD0000ULL + inputId_));
+    history_.reset();
+    pending_.clear();
+    std::fill(execCounter_.begin(), execCounter_.end(), 0);
+    emitted_ = 0;
+}
+
+} // namespace whisper

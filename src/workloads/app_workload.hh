@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The synthetic application trace generator.
+ *
+ * An AppWorkload deterministically expands an AppConfig plus an
+ * input id into a branch stream: regions (functions) are visited
+ * with a Zipf-skewed popularity distribution, and every static
+ * branch inside a region resolves according to its assigned
+ * behaviour (bias, loop, short-history formula, hashed-long-history
+ * formula, or data-dependent randomness). Different input ids keep
+ * the code structure but shift region popularity and the parameters
+ * of input-sensitive branches, mirroring how data center workloads
+ * vary across requests (paper SV-A).
+ */
+
+#ifndef WHISPER_WORKLOADS_APP_WORKLOAD_HH
+#define WHISPER_WORKLOADS_APP_WORKLOAD_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/formula.hh"
+#include "core/history_hash.hh"
+#include "trace/branch_source.hh"
+#include "trace/global_history.hh"
+#include "util/rng.hh"
+#include "workloads/app_config.hh"
+
+namespace whisper
+{
+
+/** Static description of one synthetic branch site. */
+struct BranchSite
+{
+    uint64_t pc = 0;
+    BehaviorKind kind = BehaviorKind::Biased;
+    double param = 0.5;       //!< p for Biased/Random
+    unsigned loopPeriod = 0;
+    BoolFormula formula;      //!< for the history-based kinds
+    unsigned lengthIdx = 0;   //!< series index for HashedHistory
+    unsigned histLen = 0;     //!< resolved correlation length
+    double noise = 0.0;       //!< outcome flip probability
+    bool inputSensitive = false;
+    bool takenBiasedDir = true; //!< structural majority direction
+};
+
+/** Deterministic synthetic application trace. */
+class AppWorkload : public BranchSource
+{
+  public:
+    /**
+     * @param cfg application model
+     * @param inputId workload/input selector (0 = training input)
+     * @param numBranches stream length in branch records
+     */
+    AppWorkload(const AppConfig &cfg, uint32_t inputId,
+                uint64_t numBranches);
+
+    bool next(BranchRecord &rec) override;
+    void rewind() override;
+
+    const AppConfig &config() const { return cfg_; }
+    uint32_t inputId() const { return inputId_; }
+
+    /** Static conditional branch sites in the model. */
+    uint64_t staticBranches() const { return sites_.size(); }
+
+    /** Estimated static instruction footprint of the binary. */
+    uint64_t staticInstructions() const { return staticInstructions_; }
+
+    /** All sites (analysis/test introspection). */
+    const std::vector<BranchSite> &sites() const { return sites_; }
+
+    /** The Whisper geometric length series the model draws from. */
+    const std::vector<unsigned> &lengths() const { return lengths_; }
+
+    /** Request types this model services (region sequences). */
+    const std::vector<std::vector<uint32_t>> &
+    requestTypes() const
+    {
+        return requestTypes_;
+    }
+
+  private:
+    void buildStatics();
+    void buildInputView();
+    unsigned sampleRequestType();
+    void emitRegion(unsigned region, uint64_t callPc,
+                    BranchKind callKind);
+    bool resolveOutcome(BranchSite &site);
+
+    AppConfig cfg_;
+    uint32_t inputId_;
+    uint64_t numBranches_;
+
+    std::vector<unsigned> lengths_;
+    std::vector<BranchSite> sites_;
+    std::vector<uint64_t> regionBase_;
+    std::vector<uint32_t> regionFirstSite_;
+    std::vector<uint32_t> regionNumSites_;
+    std::vector<std::vector<uint32_t>> requestTypes_;
+    uint64_t staticInstructions_ = 0;
+
+    /** Zipf CDF over request types for this input. */
+    std::vector<double> typeCdf_;
+
+    // --- run state (reset by rewind) ---
+    Rng runRng_;
+    GlobalHistory history_;
+    std::deque<BranchRecord> pending_;
+    std::vector<uint64_t> execCounter_;
+    uint64_t emitted_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_WORKLOADS_APP_WORKLOAD_HH

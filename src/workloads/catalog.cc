@@ -1,0 +1,243 @@
+#include "workloads/app_config.hh"
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+/**
+ * Helper: start from the shared data-center defaults and tweak.
+ * The per-app parameters are chosen so the emitted streams land in
+ * the bands the paper reports: branch-MPKI roughly 0.5-7.2 with
+ * large static footprints (Fig. 2), mispredictions spread over
+ * thousands of branches (Fig. 5b), and correlation lengths up to
+ * 1024 (Fig. 6).
+ */
+AppConfig
+dcApp(const std::string &name, uint64_t seed, unsigned regions,
+      unsigned requestTypes, double theta)
+{
+    AppConfig cfg;
+    cfg.name = name;
+    cfg.seed = seed;
+    cfg.numRegions = regions;
+    cfg.numRequestTypes = requestTypes;
+    cfg.zipfTheta = theta;
+    return cfg;
+}
+
+std::vector<AppConfig>
+makeDataCenterApps()
+{
+    std::vector<AppConfig> apps;
+
+    // cassandra: JVM storage engine, moderate footprint, lots of
+    // biased error-checking branches.
+    {
+        AppConfig c = dcApp("cassandra", 0xCA55, 380, 110, 1.60);
+        c.wBiased = 0.73;
+        c.wShortHistory = 0.07;
+        c.wHashedHistory = 0.060;
+        c.wRandom = 0.015;
+        c.histNoiseMax = 0.04;
+        apps.push_back(c);
+    }
+    // clang: huge code footprint, branchy IR traversals with long
+    // history correlations.
+    {
+        AppConfig c = dcApp("clang", 0xC1A6, 950, 300, 1.30);
+        c.wBiased = 0.62;
+        c.wShortHistory = 0.10;
+        c.wHashedHistory = 0.130;
+        c.wRandom = 0.035;
+        c.histNoiseMax = 0.085;
+        apps.push_back(c);
+    }
+    // drupal: PHP request processing.
+    {
+        AppConfig c = dcApp("drupal", 0xD2FA, 560, 180, 1.45);
+        c.wShortHistory = 0.08;
+        c.wHashedHistory = 0.065;
+        c.wRandom = 0.020;
+        c.histNoiseMax = 0.05;
+        apps.push_back(c);
+    }
+    // finagle-chirper: RPC microservice, small hot core.
+    {
+        AppConfig c = dcApp("finagle-chirper", 0xF1C4, 260, 70, 1.95);
+        c.wBiased = 0.76;
+        c.wShortHistory = 0.04;
+        c.wHashedHistory = 0.020;
+        c.wRandom = 0.003;
+        c.histNoiseMax = 0.02;
+        apps.push_back(c);
+    }
+    // finagle-http: http server, similar but slightly hotter loops.
+    {
+        AppConfig c = dcApp("finagle-http", 0xF1BB, 240, 64, 2.00);
+        c.wBiased = 0.74;
+        c.wLoop = 0.06;
+        c.wShortHistory = 0.035;
+        c.wHashedHistory = 0.018;
+        c.wRandom = 0.003;
+        c.histNoiseMax = 0.02;
+        apps.push_back(c);
+    }
+    // kafka: log broker; streaming loops and batch-size dependent
+    // branches.
+    {
+        AppConfig c = dcApp("kafka", 0x0AFA, 430, 130, 1.55);
+        c.wLoop = 0.07;
+        c.wShortHistory = 0.08;
+        c.wHashedHistory = 0.060;
+        c.wRandom = 0.014;
+        c.histNoiseMax = 0.05;
+        apps.push_back(c);
+    }
+    // mediawiki: PHP wiki rendering; content-dependent parsing.
+    {
+        AppConfig c = dcApp("mediawiki", 0x3ED1, 660, 210, 1.40);
+        c.wBiased = 0.64;
+        c.wShortHistory = 0.09;
+        c.wHashedHistory = 0.070;
+        c.wRandom = 0.028;
+        c.histNoiseMax = 0.08;
+        apps.push_back(c);
+    }
+    // mysql: the paper's highest-MPKI server; very large footprint,
+    // query-shape dependent control flow.
+    {
+        AppConfig c = dcApp("mysql", 0x3541, 850, 330, 1.25);
+        c.wBiased = 0.58;
+        c.wShortHistory = 0.12;
+        c.wHashedHistory = 0.150;
+        c.wRandom = 0.04;
+        c.histNoiseMax = 0.095;
+        apps.push_back(c);
+    }
+    // postgres: similar class to mysql, slightly smaller.
+    {
+        AppConfig c = dcApp("postgres", 0x9057, 740, 260, 1.30);
+        c.wBiased = 0.60;
+        c.wShortHistory = 0.10;
+        c.wHashedHistory = 0.130;
+        c.wRandom = 0.032;
+        c.histNoiseMax = 0.085;
+        apps.push_back(c);
+    }
+    // python: interpreter dispatch; long opcode-history correlations.
+    {
+        AppConfig c = dcApp("python", 0x9784, 700, 240, 1.30);
+        c.wBiased = 0.59;
+        c.wShortHistory = 0.10;
+        c.wHashedHistory = 0.130;
+        c.wRandom = 0.030;
+        c.histNoiseMax = 0.09;
+        c.minCorrelationIdx = 4;
+        apps.push_back(c);
+    }
+    // tomcat: servlet container.
+    {
+        AppConfig c = dcApp("tomcat", 0x70CA, 460, 140, 1.50);
+        c.wShortHistory = 0.08;
+        c.wHashedHistory = 0.055;
+        c.wRandom = 0.014;
+        c.histNoiseMax = 0.05;
+        apps.push_back(c);
+    }
+    // wordpress: PHP with heavy plugin dispatch.
+    {
+        AppConfig c = dcApp("wordpress", 0x30D9, 680, 230, 1.38);
+        c.wBiased = 0.62;
+        c.wShortHistory = 0.10;
+        c.wHashedHistory = 0.080;
+        c.wRandom = 0.028;
+        c.histNoiseMax = 0.085;
+        apps.push_back(c);
+    }
+    return apps;
+}
+
+/**
+ * SPEC2017-like models: small hot code, mispredictions concentrated
+ * in a handful of data-dependent branches (Fig. 5a). gcc is the
+ * outlier with a datacenter-like spread, as the paper notes.
+ */
+AppConfig
+specApp(const std::string &name, uint64_t seed, unsigned regions,
+        double wRandom)
+{
+    AppConfig cfg;
+    cfg.name = name;
+    cfg.seed = seed;
+    cfg.numRegions = regions;
+    cfg.numRequestTypes = std::max(8u, regions / 8);
+    cfg.zipfTheta = 1.15;
+    cfg.wBiased = 0.62;
+    cfg.wLoop = 0.08;
+    cfg.wShortHistory = 0.14;
+    cfg.wHashedHistory = 0.08;
+    cfg.wRandom = wRandom;
+    cfg.randomPMin = 0.55;
+    cfg.randomPMax = 0.75;
+    cfg.inputSensitiveFrac = 0.08;
+    return cfg;
+}
+
+std::vector<AppConfig>
+makeSpecApps()
+{
+    std::vector<AppConfig> apps;
+    apps.push_back(specApp("deepsjeng", 0xDEE9, 90, 0.045));
+    apps.push_back(specApp("exchange2", 0xE8C2, 60, 0.030));
+    {
+        // gcc behaves like a data center app (large, spread out).
+        AppConfig c = specApp("gcc", 0x6CC0, 1200, 0.02);
+        c.numRequestTypes = 260;
+        c.zipfTheta = 0.45;
+        c.wHashedHistory = 0.14;
+        c.wShortHistory = 0.20;
+        apps.push_back(c);
+    }
+    apps.push_back(specApp("leela", 0x1EE1, 80, 0.055));
+    apps.push_back(specApp("mcf", 0x3CF0, 40, 0.060));
+    apps.push_back(specApp("omnetpp", 0x03E7, 160, 0.040));
+    apps.push_back(specApp("perlbench", 0x9E41, 240, 0.025));
+    apps.push_back(specApp("x264", 0x0264, 110, 0.025));
+    apps.push_back(specApp("xalancbmk", 0xA1A2, 210, 0.025));
+    apps.push_back(specApp("xz", 0x00A2, 70, 0.050));
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppConfig> &
+dataCenterApps()
+{
+    static const std::vector<AppConfig> apps = makeDataCenterApps();
+    return apps;
+}
+
+const std::vector<AppConfig> &
+specApps()
+{
+    static const std::vector<AppConfig> apps = makeSpecApps();
+    return apps;
+}
+
+const AppConfig &
+appByName(const std::string &name)
+{
+    for (const auto &c : dataCenterApps())
+        if (c.name == name)
+            return c;
+    for (const auto &c : specApps())
+        if (c.name == name)
+            return c;
+    whisper_fatal("unknown application '", name, "'");
+}
+
+} // namespace whisper

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Unit + property tests for the extended-ROMBF formula machinery
+ * (core/formula, core/formula_trainer, core/history_hash).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/formula.hh"
+#include "core/formula_gates.hh"
+#include "core/formula_trainer.hh"
+#include "core/history_hash.hh"
+#include "util/rng.hh"
+
+using namespace whisper;
+
+TEST(BoolOp, SingleUnitTruthTables)
+{
+    // Fig. 8: the four single-unit operations.
+    EXPECT_TRUE(applyBoolOp(BoolOp::And, true, true));
+    EXPECT_FALSE(applyBoolOp(BoolOp::And, true, false));
+    EXPECT_TRUE(applyBoolOp(BoolOp::Or, false, true));
+    EXPECT_FALSE(applyBoolOp(BoolOp::Or, false, false));
+    // a -> b
+    EXPECT_TRUE(applyBoolOp(BoolOp::Impl, false, false));
+    EXPECT_TRUE(applyBoolOp(BoolOp::Impl, false, true));
+    EXPECT_FALSE(applyBoolOp(BoolOp::Impl, true, false));
+    EXPECT_TRUE(applyBoolOp(BoolOp::Impl, true, true));
+    // converse non-implication: !a & b
+    EXPECT_FALSE(applyBoolOp(BoolOp::Cnimpl, false, false));
+    EXPECT_TRUE(applyBoolOp(BoolOp::Cnimpl, false, true));
+    EXPECT_FALSE(applyBoolOp(BoolOp::Cnimpl, true, false));
+    EXPECT_FALSE(applyBoolOp(BoolOp::Cnimpl, true, true));
+}
+
+TEST(BoolFormula, EncodingWidths)
+{
+    // 7 nodes * 2 bits + 1 inversion bit = the brhint's 15-bit field.
+    EXPECT_EQ(BoolFormula::encodingBits(8), 15u);
+    EXPECT_EQ(BoolFormula::encodingCount(8), 32768u);
+    EXPECT_EQ(BoolFormula::encodingBits(4), 7u);
+    EXPECT_EQ(BoolFormula::encodingBits(2), 3u);
+}
+
+TEST(BoolFormula, AllAndTree)
+{
+    // All nodes AND, no inversion: true only when all 8 bits set.
+    BoolFormula f(0, 8);
+    EXPECT_TRUE(f.evaluate(0xFF));
+    EXPECT_FALSE(f.evaluate(0xFE));
+    EXPECT_FALSE(f.evaluate(0x00));
+    EXPECT_TRUE(f.isMonotone());
+}
+
+TEST(BoolFormula, AllOrTree)
+{
+    // All nodes OR: op bits 01 per node -> 0b01010101010101.
+    uint16_t enc = 0;
+    for (unsigned n = 0; n < 7; ++n)
+        enc |= 1u << (2 * n);
+    BoolFormula f(enc, 8);
+    EXPECT_FALSE(f.evaluate(0x00));
+    for (unsigned b = 0; b < 8; ++b)
+        EXPECT_TRUE(f.evaluate(1u << b)) << b;
+    EXPECT_TRUE(f.isMonotone());
+}
+
+TEST(BoolFormula, InversionBit)
+{
+    uint16_t inv = 1u << 14;
+    BoolFormula f(inv, 8); // NOT(all-and)
+    EXPECT_FALSE(f.evaluate(0xFF));
+    EXPECT_TRUE(f.evaluate(0x00));
+    EXPECT_TRUE(f.inverted());
+    EXPECT_FALSE(f.isMonotone());
+}
+
+TEST(BoolFormula, NodeOpDecoding)
+{
+    // Node 3 = Impl (encoding 2 at bits 6-7).
+    uint16_t enc = 2u << 6;
+    BoolFormula f(enc, 8);
+    EXPECT_EQ(f.nodeOp(3), BoolOp::Impl);
+    EXPECT_EQ(f.nodeOp(0), BoolOp::And);
+    EXPECT_FALSE(f.isMonotone());
+}
+
+TEST(BoolFormula, TruthTableMatchesEvaluate)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        uint16_t enc = static_cast<uint16_t>(rng.nextBelow(32768));
+        BoolFormula f(enc, 8);
+        TruthTable tt = f.truthTable();
+        for (unsigned v = 0; v < 256; ++v) {
+            bool viaTable = (tt[v / 64] >> (v % 64)) & 1;
+            ASSERT_EQ(viaTable, f.evaluate(static_cast<uint8_t>(v)))
+                << "enc=" << enc << " v=" << v;
+        }
+    }
+}
+
+TEST(BoolFormula, TreeFormulasAreNeverConstant)
+{
+    // Read-once trees over distinct leaves cannot compute a constant
+    // function; Whisper handles always/never via the Bias field.
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        uint16_t enc = static_cast<uint16_t>(rng.nextBelow(32768));
+        BoolFormula f(enc, 8);
+        bool value = false;
+        EXPECT_FALSE(f.isConstant(value)) << enc;
+    }
+}
+
+TEST(BoolFormula, ClassifyRootFamilies)
+{
+    // classify() keys on the root node (node 6 for 8 inputs).
+    auto mk = [](BoolOp root, bool invert) {
+        uint16_t enc = static_cast<uint16_t>(root) << 12;
+        if (invert)
+            enc |= 1u << 14;
+        return BoolFormula(enc, 8);
+    };
+    EXPECT_EQ(mk(BoolOp::And, false).classify(), OpClass::And);
+    EXPECT_EQ(mk(BoolOp::Or, false).classify(), OpClass::Or);
+    EXPECT_EQ(mk(BoolOp::Impl, false).classify(), OpClass::Impl);
+    EXPECT_EQ(mk(BoolOp::Cnimpl, false).classify(), OpClass::Cnimpl);
+    EXPECT_EQ(mk(BoolOp::And, true).classify(), OpClass::Others);
+}
+
+TEST(BoolFormula, FourInputVariant)
+{
+    // 4-input tree: nodes (b0,b1),(b2,b3),root.
+    BoolFormula allAnd(0, 4);
+    EXPECT_TRUE(allAnd.evaluate(0x0F));
+    EXPECT_FALSE(allAnd.evaluate(0x07));
+}
+
+TEST(BoolFormula, ToStringRendersOps)
+{
+    BoolFormula f(0, 8);
+    std::string s = f.toString();
+    EXPECT_NE(s.find("b0"), std::string::npos);
+    EXPECT_NE(s.find("&"), std::string::npos);
+}
+
+TEST(GateDelay, PaperNumbers)
+{
+    // Paper SIII-C: 3 single-unit levels * 5 + final mux 4 = 19.
+    EXPECT_EQ(formulaGateDelay(8), 19u);
+    EXPECT_EQ(formulaGateDelay(2), 9u);
+    EXPECT_EQ(formulaGateDelay(4), 14u);
+}
+
+TEST(GeometricLengths, PaperSeries)
+{
+    // a=8, N=1024, m=16 -> 8, 11, 15, ..., 1024 (paper SIII-A).
+    auto lengths = geometricLengths(8, 1024, 16);
+    ASSERT_EQ(lengths.size(), 16u);
+    EXPECT_EQ(lengths.front(), 8u);
+    EXPECT_EQ(lengths[1], 11u);
+    EXPECT_EQ(lengths[2], 15u);
+    EXPECT_EQ(lengths.back(), 1024u);
+    for (size_t i = 1; i < lengths.size(); ++i)
+        EXPECT_GT(lengths[i], lengths[i - 1]);
+}
+
+TEST(GeometricLengths, RatioApproximatelyGeometric)
+{
+    auto lengths = geometricLengths(8, 1024, 16);
+    double r = std::pow(1024.0 / 8.0, 1.0 / 15.0);
+    for (size_t i = 1; i + 1 < lengths.size(); ++i) {
+        double ratio = static_cast<double>(lengths[i + 1]) / lengths[i];
+        EXPECT_NEAR(ratio, r, 0.25) << i;
+    }
+}
+
+TEST(TruthTableCache, MatchesDirectEvaluation)
+{
+    TruthTableCache cache(8);
+    Rng rng(11);
+    for (int trial = 0; trial < 64; ++trial) {
+        uint16_t enc = static_cast<uint16_t>(rng.nextBelow(32768));
+        uint8_t in = static_cast<uint8_t>(rng.nextBelow(256));
+        EXPECT_EQ(cache.evaluate(enc, in),
+                  BoolFormula(enc, 8).evaluate(in));
+    }
+}
+
+TEST(FormulaCandidates, GlobalPermutationIsStable)
+{
+    FormulaCandidates a(8, 0.001, 1234);
+    FormulaCandidates b(8, 0.001, 1234);
+    EXPECT_EQ(a.encodings(), b.encodings());
+    EXPECT_EQ(a.encodings().size(), 32u); // 0.1% of 32768
+}
+
+TEST(FormulaCandidates, FractionPrefixNesting)
+{
+    // A smaller fraction must be a prefix of a larger one (the
+    // Fisher-Yates order is generated once and shared).
+    FormulaCandidates c(8, 1.0, 99);
+    auto small = c.withFraction(0.01);
+    auto large = c.withFraction(0.1);
+    ASSERT_LT(small.size(), large.size());
+    for (size_t i = 0; i < small.size(); ++i)
+        EXPECT_EQ(small[i], large[i]);
+    EXPECT_EQ(c.withFraction(1.0).size(), 32768u);
+}
+
+TEST(ScoreFormula, CountsMispredictions)
+{
+    // Table: key 0xFF taken 10 times; key 0x00 not-taken 5 times.
+    HashedSampleTable t(8);
+    t.taken[0xFF] = 10;
+    t.notTaken[0x00] = 5;
+
+    // all-AND: predicts taken only on 0xFF -> 0 misses.
+    TruthTable andTt = BoolFormula(0, 8).truthTable();
+    EXPECT_EQ(scoreFormula(andTt, t), 0u);
+
+    // NOT(all-AND): wrong everywhere -> 15 misses.
+    TruthTable notTt = BoolFormula(1u << 14, 8).truthTable();
+    EXPECT_EQ(scoreFormula(notTt, t), 15u);
+}
+
+TEST(ScoreFormula, EarlyOutBounds)
+{
+    HashedSampleTable t(8);
+    for (unsigned k = 0; k < 256; ++k)
+        t.notTaken[k] = 100;
+    // all-OR mispredicts every not-taken sample with any bit set.
+    uint16_t enc = 0;
+    for (unsigned n = 0; n < 7; ++n)
+        enc |= 1u << (2 * n);
+    TruthTable tt = BoolFormula(enc, 8).truthTable();
+    uint64_t bounded = scoreFormula(tt, t, 500);
+    EXPECT_GT(bounded, 500u);
+    EXPECT_LT(bounded, 25500u); // stopped early
+}
+
+TEST(FindBooleanFormula, RecoversPlantedFormula)
+{
+    // Property: for a planted formula with noise-free samples,
+    // Algorithm 1 over the full space returns a formula with zero
+    // mispredictions.
+    TruthTableCache cache(8);
+    FormulaCandidates all(8, 1.0, 5);
+    Rng rng(21);
+    for (int trial = 0; trial < 5; ++trial) {
+        uint16_t planted = static_cast<uint16_t>(rng.nextBelow(32768));
+        BoolFormula f(planted, 8);
+        HashedSampleTable t(8);
+        for (unsigned k = 0; k < 256; ++k) {
+            unsigned weight = 1 + (rng.nextBelow(20));
+            if (f.evaluate(static_cast<uint8_t>(k)))
+                t.taken[k] = weight;
+            else
+                t.notTaken[k] = weight;
+        }
+        auto res = findBooleanFormula(t, all.encodings(), cache);
+        ASSERT_TRUE(res.valid);
+        EXPECT_EQ(res.mispredicts, 0u) << "trial " << trial;
+    }
+}
+
+TEST(FindBooleanFormula, RandomizedSubsetIsNearOptimal)
+{
+    // Property (paper SIII-B): scoring ~0.1% of formulas finds a
+    // formula whose misprediction count is within a modest factor
+    // of the exhaustive optimum on noisy data.
+    TruthTableCache cache(8);
+    FormulaCandidates c(8, 1.0, 7);
+    Rng rng(31);
+
+    BoolFormula planted(0x2A51, 8);
+    HashedSampleTable t(8);
+    for (unsigned k = 0; k < 256; ++k) {
+        unsigned weight = 5 + rng.nextBelow(30);
+        bool taken = planted.evaluate(static_cast<uint8_t>(k));
+        if (rng.nextBool(0.08))
+            taken = !taken; // noise
+        if (taken)
+            t.taken[k] = weight;
+        else
+            t.notTaken[k] = weight;
+    }
+    auto exhaustive = findBooleanFormula(t, c.withFraction(1.0), cache);
+    auto randomized =
+        findBooleanFormula(t, c.withFraction(0.01), cache);
+    auto tiny = findBooleanFormula(t, c.withFraction(0.001), cache);
+    ASSERT_TRUE(exhaustive.valid && randomized.valid && tiny.valid);
+    EXPECT_LE(exhaustive.mispredicts, randomized.mispredicts);
+    EXPECT_LE(randomized.mispredicts, tiny.mispredicts);
+    // Near-optimality: a 1% sample stays within a small factor of
+    // the exhaustive optimum (the full trainer additionally gets 16
+    // history lengths and the bias fallback per branch).
+    EXPECT_LE(randomized.mispredicts, 2 * exhaustive.mispredicts);
+    EXPECT_GT(exhaustive.mispredicts, 0u); // noise floor exists
+}
+
+TEST(HashedSampleTable, OracleAndMerge)
+{
+    HashedSampleTable a(4), b(4);
+    a.record(3, true);
+    a.record(3, false);
+    a.record(3, true);
+    b.record(3, false);
+    EXPECT_EQ(a.oracleMispredicts(), 1u);
+    a.addFrom(b);
+    EXPECT_EQ(a.taken[3], 2u);
+    EXPECT_EQ(a.notTaken[3], 2u);
+    EXPECT_EQ(a.totalSamples(), 4u);
+    EXPECT_EQ(a.oracleMispredicts(), 2u);
+}
+
+// ---------------------------------------------------------------
+// Gate-level netlist (Figs. 8/9) vs the behavioural model.
+// ---------------------------------------------------------------
+
+TEST(FormulaNetlist, MatchesBehaviouralModelSampled)
+{
+    Rng rng(55);
+    for (int trial = 0; trial < 40; ++trial) {
+        uint16_t enc = static_cast<uint16_t>(rng.nextBelow(32768));
+        BoolFormula f(enc, 8);
+        FormulaNetlist net(f);
+        for (unsigned v = 0; v < 256; ++v) {
+            ASSERT_EQ(net.evaluate(static_cast<uint8_t>(v)),
+                      f.evaluate(static_cast<uint8_t>(v)))
+                << "enc=" << enc << " v=" << v;
+        }
+    }
+}
+
+TEST(FormulaNetlist, FourInputVariant)
+{
+    BoolFormula f(0x35, 4);
+    FormulaNetlist net(f);
+    for (unsigned v = 0; v < 16; ++v)
+        EXPECT_EQ(net.evaluate(static_cast<uint8_t>(v)),
+                  f.evaluate(static_cast<uint8_t>(v)));
+}
+
+TEST(FormulaNetlist, CriticalPathWithinPaperBound)
+{
+    // The paper counts 19 gate delays for 8 inputs using 3-gate
+    // muxes; our primitive decomposition (NOT/AND/OR only, 4 gates
+    // per 2:1 mux stage) costs at most 2x that bound.
+    Rng rng(66);
+    unsigned worst = 0;
+    for (int trial = 0; trial < 64; ++trial) {
+        uint16_t enc = static_cast<uint16_t>(rng.nextBelow(32768));
+        FormulaNetlist net(BoolFormula(enc, 8));
+        worst = std::max(worst, net.criticalPathDelay());
+    }
+    EXPECT_LE(worst, 2 * formulaGateDelay(8));
+    EXPECT_GE(worst, formulaGateDelay(8) / 2);
+}
+
+TEST(FormulaNetlist, DepthGrowsLogarithmically)
+{
+    FormulaNetlist n2(BoolFormula(0, 2));
+    FormulaNetlist n4(BoolFormula(0, 4));
+    FormulaNetlist n8(BoolFormula(0, 8));
+    EXPECT_LT(n2.criticalPathDelay(), n4.criticalPathDelay());
+    EXPECT_LT(n4.criticalPathDelay(), n8.criticalPathDelay());
+    // One extra tree level adds one single unit's delay, not a
+    // doubling: depth is logarithmic in the input count.
+    EXPECT_LT(n8.criticalPathDelay(),
+              2u * n4.criticalPathDelay());
+}
+
+TEST(FormulaNetlist, GateCountIsLinearInInputs)
+{
+    FormulaNetlist n4(BoolFormula(0, 4));
+    FormulaNetlist n8(BoolFormula(0, 8));
+    // n inputs -> n-1 single units: gate count scales ~linearly.
+    EXPECT_GT(n8.gateCount(), n4.gateCount());
+    EXPECT_LT(n8.gateCount(), 3 * n4.gateCount());
+}

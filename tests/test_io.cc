@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Round-trip tests for the profile / hint-bundle serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/whisper_io.hh"
+#include "sim/experiment.hh"
+#include "util/rng.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+BranchProfile
+smallProfile()
+{
+    ExperimentConfig cfg;
+    cfg.trainRecords = 120'000;
+    cfg.profile.maxHardBranches = 64;
+    return profileApp(appByName("kafka"), 0, cfg);
+}
+
+} // namespace
+
+TEST(ProfileIo, RoundTrip)
+{
+    BranchProfile original = smallProfile();
+    std::string path = "/tmp/whisper_test_profile.bin";
+    ASSERT_TRUE(saveProfile(original, path));
+
+    BranchProfile loaded;
+    ASSERT_TRUE(loadProfile(loaded, path));
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.numBranches(), original.numBranches());
+    EXPECT_EQ(loaded.numHardBranches(),
+              original.numHardBranches());
+    EXPECT_EQ(loaded.totalInstructions,
+              original.totalInstructions);
+    EXPECT_EQ(loaded.totalMispredicts, original.totalMispredicts);
+    EXPECT_EQ(loaded.lengths(), original.lengths());
+
+    for (const auto &[pc, e] : original.entries()) {
+        const BranchProfileEntry *l = loaded.find(pc);
+        ASSERT_NE(l, nullptr);
+        EXPECT_EQ(l->executions, e.executions);
+        EXPECT_EQ(l->takenCount, e.takenCount);
+        EXPECT_EQ(l->baselineMispredicts, e.baselineMispredicts);
+        EXPECT_EQ(l->hard, e.hard);
+        if (e.hard) {
+            for (size_t i = 0; i < e.byLength.size(); ++i) {
+                EXPECT_EQ(l->byLength[i].taken, e.byLength[i].taken);
+                EXPECT_EQ(l->byLength[i].notTaken,
+                          e.byLength[i].notTaken);
+            }
+            EXPECT_EQ(l->raw8.taken, e.raw8.taken);
+        }
+    }
+}
+
+TEST(ProfileIo, LoadedProfileTrainsIdentically)
+{
+    // The serialized profile must drive the trainer to the exact
+    // same hints as the in-memory one.
+    BranchProfile original = smallProfile();
+    std::string path = "/tmp/whisper_test_profile2.bin";
+    ASSERT_TRUE(saveProfile(original, path));
+    BranchProfile loaded;
+    ASSERT_TRUE(loadProfile(loaded, path));
+    std::remove(path.c_str());
+
+    WhisperConfig cfg;
+    WhisperTrainer trainer(cfg, globalTruthTables());
+    auto a = trainer.train(original);
+    auto b = trainer.train(loaded);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].hint, b[i].hint);
+        EXPECT_EQ(a[i].expectedMispredicts,
+                  b[i].expectedMispredicts);
+    }
+}
+
+TEST(ProfileIo, RejectsGarbage)
+{
+    std::string path = "/tmp/whisper_test_garbage_profile.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage garbage garbage", f);
+    std::fclose(f);
+    BranchProfile p;
+    EXPECT_FALSE(loadProfile(p, path));
+    std::remove(path.c_str());
+}
+
+TEST(ProfileIo, MissingFileFails)
+{
+    BranchProfile p;
+    EXPECT_FALSE(loadProfile(p, "/tmp/does_not_exist_whisper.bin"));
+    EXPECT_FALSE(saveProfile(p, "/nonexistent-dir/x.bin"));
+}
+
+TEST(HintBundleIo, RoundTrip)
+{
+    Rng rng(31);
+    HintBundle original;
+    for (int i = 0; i < 200; ++i) {
+        TrainedHint h;
+        h.pc = 0x400000 + rng.nextBelow(1 << 20) * 16;
+        h.hint.historyIdx = static_cast<uint8_t>(rng.nextBelow(16));
+        h.hint.formula =
+            static_cast<uint16_t>(rng.nextBelow(1 << 15));
+        h.hint.bias = static_cast<HintBias>(rng.nextBelow(3));
+        h.hint.pcPointer = BrHint::pcPointerFor(h.pc);
+        h.historyLength = static_cast<unsigned>(rng.nextBelow(1025));
+        h.expectedMispredicts = rng.nextBelow(1000);
+        h.profiledMispredicts =
+            h.expectedMispredicts + rng.nextBelow(1000);
+        h.executions = h.profiledMispredicts + rng.nextBelow(10000);
+        original.hints.push_back(h);
+
+        HintPlacement p;
+        p.branchPc = h.pc;
+        p.predecessorPc = h.pc - 16;
+        p.coverage = rng.nextDouble();
+        p.precision = rng.nextDouble();
+        p.predecessorExecutions = rng.nextBelow(100000);
+        original.placements.push_back(p);
+    }
+
+    std::string path = "/tmp/whisper_test_hints.bin";
+    ASSERT_TRUE(saveHintBundle(original, path));
+    HintBundle loaded;
+    ASSERT_TRUE(loadHintBundle(loaded, path));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.hints.size(), original.hints.size());
+    ASSERT_EQ(loaded.placements.size(), original.placements.size());
+    for (size_t i = 0; i < original.hints.size(); ++i) {
+        EXPECT_EQ(loaded.hints[i].pc, original.hints[i].pc);
+        EXPECT_EQ(loaded.hints[i].hint, original.hints[i].hint);
+        EXPECT_EQ(loaded.hints[i].historyLength,
+                  original.hints[i].historyLength);
+        EXPECT_EQ(loaded.placements[i].predecessorPc,
+                  original.placements[i].predecessorPc);
+        EXPECT_DOUBLE_EQ(loaded.placements[i].coverage,
+                         original.placements[i].coverage);
+    }
+}
+
+TEST(HintBundleIo, BundleDrivesPredictor)
+{
+    // A bundle loaded from disk must build a working predictor.
+    ExperimentConfig cfg;
+    cfg.trainRecords = 200'000;
+    cfg.testRecords = 150'000;
+    const AppConfig &app = appByName("kafka");
+    BranchProfile profile = profileApp(app, 0, cfg);
+    WhisperBuild build = trainWhisper(app, 0, profile, cfg);
+
+    HintBundle bundle{build.hints, build.placements};
+    std::string path = "/tmp/whisper_test_bundle.bin";
+    ASSERT_TRUE(saveHintBundle(bundle, path));
+    HintBundle loaded;
+    ASSERT_TRUE(loadHintBundle(loaded, path));
+    std::remove(path.c_str());
+
+    WhisperBuild rebuilt;
+    rebuilt.hints = loaded.hints;
+    rebuilt.placements = loaded.placements;
+    auto a = makeWhisperPredictor(cfg, build);
+    auto b = makeWhisperPredictor(cfg, rebuilt);
+    auto sa = evalApp(app, 1, cfg, *a);
+    auto sb = evalApp(app, 1, cfg, *b);
+    EXPECT_EQ(sa.mispredicts, sb.mispredicts);
+}
+
+TEST(HintBundleIo, RejectsGarbage)
+{
+    std::string path = "/tmp/whisper_test_garbage_hints.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("x", f);
+    std::fclose(f);
+    HintBundle b;
+    EXPECT_FALSE(loadHintBundle(b, path));
+    std::remove(path.c_str());
+}

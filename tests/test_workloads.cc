@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit + property tests for the synthetic application models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/global_history.hh"
+#include "workloads/app_workload.hh"
+
+using namespace whisper;
+
+TEST(Catalog, TwelveDataCenterApps)
+{
+    const auto &apps = dataCenterApps();
+    ASSERT_EQ(apps.size(), 12u);
+    std::set<std::string> names;
+    for (const auto &a : apps)
+        names.insert(a.name);
+    EXPECT_EQ(names.size(), 12u);
+    EXPECT_TRUE(names.count("mysql"));
+    EXPECT_TRUE(names.count("finagle-chirper"));
+    EXPECT_TRUE(names.count("wordpress"));
+}
+
+TEST(Catalog, TenSpecApps)
+{
+    EXPECT_EQ(specApps().size(), 10u);
+}
+
+TEST(Catalog, LookupByName)
+{
+    EXPECT_EQ(appByName("clang").name, "clang");
+    EXPECT_EQ(appByName("xz").name, "xz");
+}
+
+TEST(AppWorkload, Deterministic)
+{
+    const AppConfig &app = appByName("kafka");
+    AppWorkload a(app, 0, 5000), b(app, 0, 5000);
+    BranchRecord ra, rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.taken, rb.taken);
+        ASSERT_EQ(ra.instGap, rb.instGap);
+    }
+    EXPECT_FALSE(b.next(rb));
+}
+
+TEST(AppWorkload, RewindReplaysIdentically)
+{
+    const AppConfig &app = appByName("tomcat");
+    AppWorkload wl(app, 2, 3000);
+    std::vector<BranchRecord> first;
+    BranchRecord rec;
+    while (wl.next(rec))
+        first.push_back(rec);
+    wl.rewind();
+    size_t i = 0;
+    while (wl.next(rec)) {
+        ASSERT_LT(i, first.size());
+        ASSERT_EQ(rec.pc, first[i].pc);
+        ASSERT_EQ(rec.taken, first[i].taken);
+        ++i;
+    }
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(AppWorkload, InputsDiffer)
+{
+    const AppConfig &app = appByName("drupal");
+    AppWorkload a(app, 0, 5000), b(app, 1, 5000);
+    BranchRecord ra, rb;
+    int differing = 0;
+    while (a.next(ra) && b.next(rb)) {
+        if (ra.pc != rb.pc || ra.taken != rb.taken)
+            ++differing;
+    }
+    EXPECT_GT(differing, 100);
+}
+
+TEST(AppWorkload, SameStaticStructureAcrossInputs)
+{
+    // Inputs change behaviour, not code: sites must be identical.
+    const AppConfig &app = appByName("python");
+    AppWorkload a(app, 0, 10), b(app, 3, 10);
+    ASSERT_EQ(a.sites().size(), b.sites().size());
+    for (size_t i = 0; i < a.sites().size(); ++i) {
+        EXPECT_EQ(a.sites()[i].pc, b.sites()[i].pc);
+        EXPECT_EQ(a.sites()[i].kind, b.sites()[i].kind);
+    }
+}
+
+TEST(AppWorkload, UniqueSitePcs)
+{
+    const AppConfig &app = appByName("mysql");
+    AppWorkload wl(app, 0, 10);
+    std::set<uint64_t> pcs;
+    for (const auto &s : wl.sites())
+        pcs.insert(s.pc);
+    EXPECT_EQ(pcs.size(), wl.sites().size());
+}
+
+TEST(AppWorkload, RecordsOnlyKnownPcs)
+{
+    const AppConfig &app = appByName("cassandra");
+    AppWorkload wl(app, 1, 20000);
+    std::set<uint64_t> sitePcs;
+    for (const auto &s : wl.sites())
+        sitePcs.insert(s.pc);
+    BranchRecord rec;
+    while (wl.next(rec)) {
+        if (rec.isConditional()) {
+            ASSERT_TRUE(sitePcs.count(rec.pc)) << std::hex << rec.pc;
+        }
+    }
+}
+
+TEST(AppWorkload, EmitsCallsAndReturns)
+{
+    const AppConfig &app = appByName("kafka");
+    AppWorkload wl(app, 0, 20000);
+    uint64_t calls = 0, indirects = 0, returns = 0, conds = 0;
+    BranchRecord rec;
+    while (wl.next(rec)) {
+        switch (rec.kind) {
+          case BranchKind::Call:
+            ++calls;
+            break;
+          case BranchKind::Indirect:
+            ++indirects;
+            break;
+          case BranchKind::Return:
+            ++returns;
+            break;
+          case BranchKind::Conditional:
+            ++conds;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_GT(calls, 500u);
+    EXPECT_GT(indirects, 50u); // request-entry dispatch sites
+    EXPECT_GT(conds, 10000u);
+    // Region entries (calls + indirect dispatches) and returns
+    // bracket regions (the tail may be cut).
+    EXPECT_NEAR(static_cast<double>(calls + indirects),
+                static_cast<double>(returns), 2.0);
+}
+
+TEST(AppWorkload, BiasedBranchesAreBiased)
+{
+    // Property: every hot Biased site's empirical taken-rate must
+    // be within noise of its parameter.
+    const AppConfig &app = appByName("finagle-http");
+    AppWorkload wl(app, 0, 300000);
+    std::map<uint64_t, const BranchSite *> byPc;
+    for (const auto &s : wl.sites())
+        byPc[s.pc] = &s;
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> counts;
+    BranchRecord rec;
+    while (wl.next(rec)) {
+        if (!rec.isConditional())
+            continue;
+        auto &c = counts[rec.pc];
+        c.first += rec.taken;
+        ++c.second;
+    }
+    for (const auto &[pc, c] : counts) {
+        const BranchSite *s = byPc[pc];
+        if (s->kind != BehaviorKind::Biased || c.second < 500)
+            continue;
+        double rate = static_cast<double>(c.first) / c.second;
+        EXPECT_NEAR(rate, s->param, 0.03) << std::hex << pc;
+    }
+}
+
+TEST(AppWorkload, HashedHistoryBranchesFollowTheirFormula)
+{
+    // Property: reconstruct each HashedHistory outcome from the
+    // formula and an independently maintained folded history; the
+    // mismatch rate must be about the site's noise.
+    const AppConfig &app = appByName("mysql");
+    AppWorkload wl(app, 0, 200000);
+    std::map<uint64_t, const BranchSite *> byPc;
+    for (const auto &s : wl.sites())
+        byPc[s.pc] = &s;
+
+    GlobalHistory shadow(4096);
+    for (unsigned len : wl.lengths())
+        shadow.addFoldedView(len, 8);
+
+    uint64_t match = 0, total = 0;
+    BranchRecord rec;
+    while (wl.next(rec)) {
+        if (!rec.isConditional())
+            continue;
+        const BranchSite *s = byPc[rec.pc];
+        if (s->kind == BehaviorKind::HashedHistory) {
+            uint8_t hashed = static_cast<uint8_t>(
+                shadow.foldedValue(s->lengthIdx));
+            bool expected = s->formula.evaluate(hashed);
+            ++total;
+            if (expected == rec.taken)
+                ++match;
+        }
+        shadow.push(rec.taken);
+    }
+    ASSERT_GT(total, 1000u);
+    double matchRate = static_cast<double>(match) / total;
+    // Average noise is well below 10%.
+    EXPECT_GT(matchRate, 0.88);
+}
+
+TEST(AppWorkload, LoopBranchesRunTheirPeriod)
+{
+    const AppConfig &app = appByName("finagle-http");
+    AppWorkload wl(app, 0, 100000);
+    std::map<uint64_t, const BranchSite *> byPc;
+    for (const auto &s : wl.sites())
+        byPc[s.pc] = &s;
+
+    // Count consecutive taken runs per loop branch.
+    std::map<uint64_t, unsigned> run;
+    BranchRecord rec;
+    bool ok = true;
+    while (wl.next(rec)) {
+        if (!rec.isConditional())
+            continue;
+        const BranchSite *s = byPc[rec.pc];
+        if (s->kind != BehaviorKind::Loop)
+            continue;
+        if (rec.taken) {
+            ++run[rec.pc];
+        } else {
+            unsigned len = run[rec.pc] + 1;
+            if (len != std::min(s->loopPeriod, 64u))
+                ok = false;
+            run[rec.pc] = 0;
+        }
+    }
+    EXPECT_TRUE(ok);
+}
+
+TEST(AppWorkload, StaticFootprintScalesWithRegions)
+{
+    AppConfig small = appByName("finagle-http");
+    AppConfig large = appByName("mysql");
+    AppWorkload a(small, 0, 10), b(large, 0, 10);
+    EXPECT_LT(a.staticBranches(), b.staticBranches());
+    EXPECT_LT(a.staticInstructions(), b.staticInstructions());
+    EXPECT_GT(b.staticBranches(), 5000u);
+}
+
+TEST(AppWorkload, InstructionGapsInBand)
+{
+    const AppConfig &app = appByName("drupal");
+    AppWorkload wl(app, 0, 20000);
+    BranchRecord rec;
+    double sum = 0;
+    uint64_t n = 0;
+    while (wl.next(rec)) {
+        EXPECT_GE(rec.instGap, 1u);
+        EXPECT_LE(rec.instGap, 2 * app.avgInstGap);
+        sum += rec.instGap;
+        ++n;
+    }
+    EXPECT_NEAR(sum / n, app.avgInstGap, 1.0);
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# End-to-end test of the CLI tools: generate traces, inspect them,
+# train a hint bundle, and evaluate it — the paper's Fig. 10 flow
+# split across processes. Any non-zero exit fails the test.
+set -e
+
+BIN_DIR="$1"
+WORK_DIR="${TMPDIR:-/tmp}/whisper_tools_test_$$"
+mkdir -p "$WORK_DIR"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$BIN_DIR/whisper_trace_stats" --list | grep -q mysql
+
+"$BIN_DIR/whisper_trace_gen" --app kafka --input 0 \
+    --records 150000 --out "$WORK_DIR/train.whrt"
+"$BIN_DIR/whisper_trace_gen" --app kafka --input 1 \
+    --records 120000 --out "$WORK_DIR/test.whrt"
+
+"$BIN_DIR/whisper_trace_stats" "$WORK_DIR/train.whrt" --top 3 \
+    | grep -q "app=kafka"
+
+"$BIN_DIR/whisper_train" --trace "$WORK_DIR/train.whrt" \
+    --out "$WORK_DIR/kafka.hints" \
+    --profile-out "$WORK_DIR/kafka.profile" | grep -q "hints"
+
+"$BIN_DIR/whisper_eval" --trace "$WORK_DIR/test.whrt" \
+    --hints "$WORK_DIR/kafka.hints" \
+    --profile "$WORK_DIR/kafka.profile" \
+    --predictors tage,whisper,profile-static \
+    > "$WORK_DIR/eval.txt"
+grep -q "whisper+tage" "$WORK_DIR/eval.txt"
+grep -q "profile-static" "$WORK_DIR/eval.txt"
+
+# Determinism: regenerating the same trace must be byte-identical.
+"$BIN_DIR/whisper_trace_gen" --app kafka --input 0 \
+    --records 150000 --out "$WORK_DIR/train2.whrt"
+cmp "$WORK_DIR/train.whrt" "$WORK_DIR/train2.whrt"
+
+echo "tools pipeline OK"

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * whisper_eval — evaluate predictors on a trace: the deployed
+ * TAGE-SC-L baseline, optionally Whisper with a trained hint bundle,
+ * and reference predictors. Reports MPKI/accuracy and (with
+ * --pipeline) IPC on the frontend model.
+ *
+ * Usage:
+ *   whisper_eval --trace mysql_i1.whrt [--hints mysql.hints]
+ *                [--tage-kb 64] [--warmup 0.5] [--pipeline]
+ *                [--predictors tage,whisper,mtage,ideal,gshare,...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bp/perceptron.hh"
+#include "bp/simple_predictors.hh"
+#include "core/static_profile.hh"
+#include "core/whisper_io.hh"
+#include "trace/branch_trace.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: whisper_eval --trace FILE [options]\n"
+        "  --trace FILE      evaluation trace (.whrt)\n"
+        "  --hints FILE      hint bundle (enables 'whisper')\n"
+        "  --profile FILE    saved profile (enables 'profile-static')\n"
+        "  --tage-kb N       baseline budget (default 64)\n"
+        "  --warmup F        stats warm-up fraction (default 0.5)\n"
+        "  --pipeline        also run the timing model\n"
+        "  --predictors LIST comma list of: tage, whisper, mtage,\n"
+        "                    ideal, gshare, bimodal, perceptron\n");
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tracePath, hintsPath, profilePath;
+    unsigned tageKb = 64;
+    double warmup = 0.5;
+    bool pipeline = false;
+    std::vector<std::string> predictors = {"tage"};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--trace")
+            tracePath = next();
+        else if (arg == "--hints")
+            hintsPath = next();
+        else if (arg == "--profile")
+            profilePath = next();
+        else if (arg == "--tage-kb")
+            tageKb = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--warmup")
+            warmup = std::atof(next());
+        else if (arg == "--pipeline")
+            pipeline = true;
+        else if (arg == "--predictors")
+            predictors = splitList(next());
+        else
+            usage();
+    }
+    if (tracePath.empty())
+        usage();
+
+    BranchTrace trace;
+    if (!trace.load(tracePath)) {
+        std::fprintf(stderr, "error: cannot load %s\n",
+                     tracePath.c_str());
+        return 1;
+    }
+
+    HintBundle bundle;
+    bool haveHints = false;
+    if (!hintsPath.empty()) {
+        if (!loadHintBundle(bundle, hintsPath)) {
+            std::fprintf(stderr, "error: cannot load %s\n",
+                         hintsPath.c_str());
+            return 1;
+        }
+        haveHints = true;
+        if (predictors == std::vector<std::string>{"tage"})
+            predictors = {"tage", "whisper"};
+    }
+
+    ExperimentConfig cfg;
+    cfg.tageBudgetKB = tageKb;
+
+    auto makeByName =
+        [&](const std::string &name)
+        -> std::unique_ptr<BranchPredictor> {
+        if (name == "tage")
+            return makeTage(tageKb);
+        if (name == "mtage")
+            return makeMtage(cfg);
+        if (name == "ideal")
+            return std::make_unique<IdealPredictor>();
+        if (name == "gshare")
+            return std::make_unique<GsharePredictor>();
+        if (name == "bimodal")
+            return std::make_unique<BimodalPredictor>();
+        if (name == "perceptron")
+            return std::make_unique<PerceptronPredictor>();
+        if (name == "profile-static") {
+            if (profilePath.empty()) {
+                std::fprintf(stderr,
+                             "error: 'profile-static' needs "
+                             "--profile\n");
+                std::exit(2);
+            }
+            BranchProfile profile;
+            if (!loadProfile(profile, profilePath)) {
+                std::fprintf(stderr, "error: cannot load %s\n",
+                             profilePath.c_str());
+                std::exit(1);
+            }
+            return std::make_unique<StaticProfilePredictor>(profile);
+        }
+        if (name == "whisper") {
+            if (!haveHints) {
+                std::fprintf(stderr,
+                             "error: 'whisper' needs --hints\n");
+                std::exit(2);
+            }
+            WhisperBuild build;
+            build.hints = bundle.hints;
+            build.placements = bundle.placements;
+            return makeWhisperPredictor(cfg, build);
+        }
+        std::fprintf(stderr, "error: unknown predictor '%s'\n",
+                     name.c_str());
+        std::exit(2);
+    };
+
+    TableReporter table("evaluation: " + trace.app() + " input #" +
+                        std::to_string(trace.inputId()));
+    std::vector<std::string> header = {"predictor", "MPKI",
+                                       "accuracy-%", "mispredicts"};
+    if (pipeline)
+        header.push_back("IPC");
+    table.setHeader(header);
+
+    for (const auto &name : predictors) {
+        auto pred = makeByName(name);
+        TraceSource src(trace);
+        auto stats = runPredictor(src, *pred, warmup);
+        std::vector<std::string> row = {
+            pred->name(), TableReporter::formatDouble(stats.mpki()),
+            TableReporter::formatDouble(100.0 * stats.accuracy()),
+            std::to_string(stats.mispredicts)};
+        if (pipeline) {
+            auto fresh = makeByName(name);
+            TraceSource src2(trace);
+            PipelineModel model(cfg.pipeline);
+            auto p = model.run(src2, *fresh);
+            row.push_back(TableReporter::formatDouble(p.ipc()));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * whisper_trace_stats — inspect a .whrt trace file: record mix,
+ * instruction counts, taken rates, hottest branches; or list the
+ * built-in application models.
+ *
+ * Usage:
+ *   whisper_trace_stats TRACE.whrt [--top N]
+ *   whisper_trace_stats --list
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/branch_trace.hh"
+#include "util/table.hh"
+#include "workloads/app_workload.hh"
+
+using namespace whisper;
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::string(argv[1]) == "--list") {
+        TableReporter t("application models");
+        t.setHeader({"name", "family", "regions", "request-types"});
+        for (const auto &a : dataCenterApps())
+            t.addRow({a.name, "datacenter",
+                      std::to_string(a.numRegions),
+                      std::to_string(a.numRequestTypes)});
+        for (const auto &a : specApps())
+            t.addRow({a.name, "spec-like",
+                      std::to_string(a.numRegions),
+                      std::to_string(a.numRequestTypes)});
+        t.print();
+        return 0;
+    }
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: whisper_trace_stats TRACE.whrt "
+                     "[--top N] | --list\n");
+        return 2;
+    }
+
+    size_t topN = 10;
+    if (argc >= 4 && std::string(argv[2]) == "--top")
+        topN = std::strtoull(argv[3], nullptr, 10);
+
+    BranchTrace trace;
+    if (!trace.load(argv[1])) {
+        std::fprintf(stderr, "error: cannot load %s\n", argv[1]);
+        return 1;
+    }
+
+    uint64_t kinds[5] = {};
+    uint64_t takenConds = 0;
+    std::map<uint64_t, uint64_t> perPc;
+    for (const auto &rec : trace) {
+        ++kinds[static_cast<size_t>(rec.kind)];
+        if (rec.isConditional()) {
+            ++perPc[rec.pc];
+            if (rec.taken)
+                ++takenConds;
+        }
+    }
+
+    std::printf("trace: app=%s input=%u records=%zu "
+                "instructions=%llu\n",
+                trace.app().c_str(), trace.inputId(), trace.size(),
+                static_cast<unsigned long long>(
+                    trace.instructions()));
+    TableReporter mix("record mix");
+    mix.setHeader({"kind", "count", "share-%"});
+    const char *names[] = {"conditional", "unconditional", "call",
+                           "return", "indirect"};
+    for (int k = 0; k < 5; ++k) {
+        mix.addRow({names[k], std::to_string(kinds[k]),
+                    TableReporter::formatDouble(
+                        100.0 * kinds[k] / trace.size())});
+    }
+    mix.print();
+
+    std::printf("static conditional branches: %zu; taken rate "
+                "%.1f%%\n\n",
+                perPc.size(),
+                100.0 * takenConds /
+                    std::max<uint64_t>(1, trace.conditionals()));
+
+    std::vector<std::pair<uint64_t, uint64_t>> hot(perPc.begin(),
+                                                   perPc.end());
+    std::sort(hot.begin(), hot.end(), [](auto &a, auto &b) {
+        return a.second > b.second;
+    });
+    if (hot.size() > topN)
+        hot.resize(topN);
+    TableReporter top("hottest conditional branches");
+    top.setHeader({"pc", "executions", "share-%"});
+    for (const auto &[pc, n] : hot) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(pc));
+        top.addRow({buf, std::to_string(n),
+                    TableReporter::formatDouble(
+                        100.0 * n / trace.conditionals())});
+    }
+    top.print();
+    return 0;
+}

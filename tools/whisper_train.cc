@@ -1,0 +1,170 @@
+/**
+ * @file
+ * whisper_train — the offline half of the paper's usage model
+ * (Fig. 10, steps 1-2): profile a training trace under the deployed
+ * predictor, run Whisper's branch analysis, and emit a deployable
+ * hint bundle (and optionally the raw profile).
+ *
+ * Usage:
+ *   whisper_train --trace mysql_i0.whrt --out mysql.hints \
+ *                 [--tage-kb 64] [--fraction 0.01] \
+ *                 [--profile-out mysql.profile] [--verbose]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/whisper_io.hh"
+#include "trace/branch_trace.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: whisper_train --trace FILE --out FILE [options]\n"
+        "  --trace FILE        training trace (.whrt)\n"
+        "  --out FILE          hint bundle to write\n"
+        "  --tage-kb N         profiled predictor budget "
+        "(default 64)\n"
+        "  --fraction F        randomized-testing fraction "
+        "(default 0.01)\n"
+        "  --max-hard N        hard-branch cap (default 2048)\n"
+        "  --profile-out FILE  also save the collected profile\n"
+        "  --verbose           per-hint report\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tracePath, outPath, profileOut;
+    unsigned tageKb = 64;
+    double fraction = -1.0;
+    unsigned maxHard = 2048;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--trace")
+            tracePath = next();
+        else if (arg == "--out")
+            outPath = next();
+        else if (arg == "--tage-kb")
+            tageKb = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--fraction")
+            fraction = std::atof(next());
+        else if (arg == "--max-hard")
+            maxHard = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--profile-out")
+            profileOut = next();
+        else if (arg == "--verbose")
+            verbose = true;
+        else
+            usage();
+    }
+    if (tracePath.empty() || outPath.empty())
+        usage();
+
+    BranchTrace trace;
+    if (!trace.load(tracePath)) {
+        std::fprintf(stderr, "error: cannot load %s\n",
+                     tracePath.c_str());
+        return 1;
+    }
+    std::printf("profiling %zu records under a %uKB TAGE-SC-L...\n",
+                trace.size(), tageKb);
+
+    ExperimentConfig cfg;
+    cfg.tageBudgetKB = tageKb;
+    cfg.profile.maxHardBranches = maxHard;
+    if (fraction > 0)
+        cfg.whisper.formulaFraction = fraction;
+
+    TraceSource source(trace);
+    auto baseline = makeTage(tageKb);
+    BranchProfile profile = collectProfile(source, *baseline,
+                                           cfg.whisper, cfg.profile);
+    std::printf("  %zu static branches, %zu hard, baseline "
+                "MPKI %.2f\n",
+                profile.numBranches(), profile.numHardBranches(),
+                1000.0 * profile.totalMispredicts /
+                    std::max<uint64_t>(1, profile.totalInstructions));
+    if (!profileOut.empty()) {
+        if (!saveProfile(profile, profileOut)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         profileOut.c_str());
+            return 1;
+        }
+        std::printf("  profile saved to %s\n", profileOut.c_str());
+    }
+
+    std::printf("training (randomized formula testing, %.2f%% of "
+                "formulas)...\n",
+                100.0 * cfg.whisper.formulaFraction);
+    WhisperTrainer trainer(cfg.whisper, globalTruthTables());
+    TrainingStats stats;
+    HintBundle bundle;
+    bundle.hints = trainer.train(profile, &stats);
+
+    HintInjector injector(cfg.injector);
+    bundle.placements = injector.place(source, bundle.hints);
+    InjectionOverhead overhead = HintInjector::overhead(
+        bundle.placements, trace.size(), trace.instructions());
+
+    if (!saveHintBundle(bundle, outPath)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::printf("  %zu hints (%.2fs, %llu formulas scored) -> %s\n",
+                bundle.hints.size(), stats.trainSeconds,
+                static_cast<unsigned long long>(stats.formulasScored),
+                outPath.c_str());
+    std::printf("  expected on-profile reduction: %.1f%% of covered "
+                "mispredictions; dynamic hint overhead %.2f%%\n",
+                stats.coveredMispredicts
+                    ? 100.0 *
+                          (stats.coveredMispredicts -
+                           stats.expectedRemaining) /
+                          stats.coveredMispredicts
+                    : 0.0,
+                overhead.dynamicIncreasePct);
+
+    if (verbose) {
+        TableReporter t("hints");
+        t.setHeader({"pc", "mode", "hist-len", "profiled-miss",
+                     "expected-miss"});
+        for (const auto &h : bundle.hints) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(h.pc));
+            const char *mode =
+                h.hint.bias == HintBias::Formula
+                    ? "formula"
+                    : (h.hint.bias == HintBias::AlwaysTaken
+                           ? "always"
+                           : "never");
+            t.addRow({buf, mode, std::to_string(h.historyLength),
+                      std::to_string(h.profiledMispredicts),
+                      std::to_string(h.expectedMispredicts)});
+        }
+        t.print();
+    }
+    return 0;
+}
