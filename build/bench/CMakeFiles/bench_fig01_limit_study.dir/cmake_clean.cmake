@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_limit_study.dir/bench_fig01_limit_study.cc.o"
+  "CMakeFiles/bench_fig01_limit_study.dir/bench_fig01_limit_study.cc.o.d"
+  "bench_fig01_limit_study"
+  "bench_fig01_limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_mpki.dir/bench_fig02_mpki.cc.o"
+  "CMakeFiles/bench_fig02_mpki.dir/bench_fig02_mpki.cc.o.d"
+  "bench_fig02_mpki"
+  "bench_fig02_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

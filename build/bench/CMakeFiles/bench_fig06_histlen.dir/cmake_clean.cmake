@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_histlen.dir/bench_fig06_histlen.cc.o"
+  "CMakeFiles/bench_fig06_histlen.dir/bench_fig06_histlen.cc.o.d"
+  "bench_fig06_histlen"
+  "bench_fig06_histlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_histlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_reduction.dir/bench_fig13_reduction.cc.o"
+  "CMakeFiles/bench_fig13_reduction.dir/bench_fig13_reduction.cc.o.d"
+  "bench_fig13_reduction"
+  "bench_fig13_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_randomized.dir/bench_fig15_randomized.cc.o"
+  "CMakeFiles/bench_fig15_randomized.dir/bench_fig15_randomized.cc.o.d"
+  "bench_fig15_randomized"
+  "bench_fig15_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_inputs.dir/bench_fig17_inputs.cc.o"
+  "CMakeFiles/bench_fig17_inputs.dir/bench_fig17_inputs.cc.o.d"
+  "bench_fig17_inputs"
+  "bench_fig17_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_warmup.dir/bench_fig22_warmup.cc.o"
+  "CMakeFiles/bench_fig22_warmup.dir/bench_fig22_warmup.cc.o.d"
+  "bench_fig22_warmup"
+  "bench_fig22_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

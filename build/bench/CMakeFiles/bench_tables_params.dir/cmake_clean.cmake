@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_params.dir/bench_tables_params.cc.o"
+  "CMakeFiles/bench_tables_params.dir/bench_tables_params.cc.o.d"
+  "bench_tables_params"
+  "bench_tables_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

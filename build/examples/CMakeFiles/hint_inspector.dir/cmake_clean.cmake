@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_inspector.dir/hint_inspector.cpp.o"
+  "CMakeFiles/hint_inspector.dir/hint_inspector.cpp.o.d"
+  "hint_inspector"
+  "hint_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

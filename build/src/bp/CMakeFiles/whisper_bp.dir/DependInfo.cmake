@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bp/perceptron.cc" "src/bp/CMakeFiles/whisper_bp.dir/perceptron.cc.o" "gcc" "src/bp/CMakeFiles/whisper_bp.dir/perceptron.cc.o.d"
+  "/root/repo/src/bp/simple_predictors.cc" "src/bp/CMakeFiles/whisper_bp.dir/simple_predictors.cc.o" "gcc" "src/bp/CMakeFiles/whisper_bp.dir/simple_predictors.cc.o.d"
+  "/root/repo/src/bp/tage_scl.cc" "src/bp/CMakeFiles/whisper_bp.dir/tage_scl.cc.o" "gcc" "src/bp/CMakeFiles/whisper_bp.dir/tage_scl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whisper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

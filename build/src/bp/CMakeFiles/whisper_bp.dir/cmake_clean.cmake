@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_bp.dir/perceptron.cc.o"
+  "CMakeFiles/whisper_bp.dir/perceptron.cc.o.d"
+  "CMakeFiles/whisper_bp.dir/simple_predictors.cc.o"
+  "CMakeFiles/whisper_bp.dir/simple_predictors.cc.o.d"
+  "CMakeFiles/whisper_bp.dir/tage_scl.cc.o"
+  "CMakeFiles/whisper_bp.dir/tage_scl.cc.o.d"
+  "libwhisper_bp.a"
+  "libwhisper_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branchnet/branchnet_model.cc" "src/branchnet/CMakeFiles/whisper_branchnet.dir/branchnet_model.cc.o" "gcc" "src/branchnet/CMakeFiles/whisper_branchnet.dir/branchnet_model.cc.o.d"
+  "/root/repo/src/branchnet/branchnet_predictor.cc" "src/branchnet/CMakeFiles/whisper_branchnet.dir/branchnet_predictor.cc.o" "gcc" "src/branchnet/CMakeFiles/whisper_branchnet.dir/branchnet_predictor.cc.o.d"
+  "/root/repo/src/branchnet/branchnet_trainer.cc" "src/branchnet/CMakeFiles/whisper_branchnet.dir/branchnet_trainer.cc.o" "gcc" "src/branchnet/CMakeFiles/whisper_branchnet.dir/branchnet_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/whisper_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whisper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

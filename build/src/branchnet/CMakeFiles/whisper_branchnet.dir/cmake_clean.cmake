@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_branchnet.dir/branchnet_model.cc.o"
+  "CMakeFiles/whisper_branchnet.dir/branchnet_model.cc.o.d"
+  "CMakeFiles/whisper_branchnet.dir/branchnet_predictor.cc.o"
+  "CMakeFiles/whisper_branchnet.dir/branchnet_predictor.cc.o.d"
+  "CMakeFiles/whisper_branchnet.dir/branchnet_trainer.cc.o"
+  "CMakeFiles/whisper_branchnet.dir/branchnet_trainer.cc.o.d"
+  "libwhisper_branchnet.a"
+  "libwhisper_branchnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_branchnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for whisper_branchnet.
+# This may be replaced when dependencies are built.

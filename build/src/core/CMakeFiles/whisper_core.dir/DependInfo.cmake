@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brhint.cc" "src/core/CMakeFiles/whisper_core.dir/brhint.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/brhint.cc.o.d"
+  "/root/repo/src/core/formula.cc" "src/core/CMakeFiles/whisper_core.dir/formula.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/formula.cc.o.d"
+  "/root/repo/src/core/formula_gates.cc" "src/core/CMakeFiles/whisper_core.dir/formula_gates.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/formula_gates.cc.o.d"
+  "/root/repo/src/core/formula_trainer.cc" "src/core/CMakeFiles/whisper_core.dir/formula_trainer.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/formula_trainer.cc.o.d"
+  "/root/repo/src/core/hint_buffer.cc" "src/core/CMakeFiles/whisper_core.dir/hint_buffer.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/hint_buffer.cc.o.d"
+  "/root/repo/src/core/hint_injection.cc" "src/core/CMakeFiles/whisper_core.dir/hint_injection.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/hint_injection.cc.o.d"
+  "/root/repo/src/core/history_hash.cc" "src/core/CMakeFiles/whisper_core.dir/history_hash.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/history_hash.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/whisper_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/static_profile.cc" "src/core/CMakeFiles/whisper_core.dir/static_profile.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/static_profile.cc.o.d"
+  "/root/repo/src/core/whisper_io.cc" "src/core/CMakeFiles/whisper_core.dir/whisper_io.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/whisper_io.cc.o.d"
+  "/root/repo/src/core/whisper_predictor.cc" "src/core/CMakeFiles/whisper_core.dir/whisper_predictor.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/whisper_predictor.cc.o.d"
+  "/root/repo/src/core/whisper_trainer.cc" "src/core/CMakeFiles/whisper_core.dir/whisper_trainer.cc.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/whisper_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bp/CMakeFiles/whisper_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whisper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

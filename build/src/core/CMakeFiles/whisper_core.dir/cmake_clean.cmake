@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_core.dir/brhint.cc.o"
+  "CMakeFiles/whisper_core.dir/brhint.cc.o.d"
+  "CMakeFiles/whisper_core.dir/formula.cc.o"
+  "CMakeFiles/whisper_core.dir/formula.cc.o.d"
+  "CMakeFiles/whisper_core.dir/formula_gates.cc.o"
+  "CMakeFiles/whisper_core.dir/formula_gates.cc.o.d"
+  "CMakeFiles/whisper_core.dir/formula_trainer.cc.o"
+  "CMakeFiles/whisper_core.dir/formula_trainer.cc.o.d"
+  "CMakeFiles/whisper_core.dir/hint_buffer.cc.o"
+  "CMakeFiles/whisper_core.dir/hint_buffer.cc.o.d"
+  "CMakeFiles/whisper_core.dir/hint_injection.cc.o"
+  "CMakeFiles/whisper_core.dir/hint_injection.cc.o.d"
+  "CMakeFiles/whisper_core.dir/history_hash.cc.o"
+  "CMakeFiles/whisper_core.dir/history_hash.cc.o.d"
+  "CMakeFiles/whisper_core.dir/profile.cc.o"
+  "CMakeFiles/whisper_core.dir/profile.cc.o.d"
+  "CMakeFiles/whisper_core.dir/static_profile.cc.o"
+  "CMakeFiles/whisper_core.dir/static_profile.cc.o.d"
+  "CMakeFiles/whisper_core.dir/whisper_io.cc.o"
+  "CMakeFiles/whisper_core.dir/whisper_io.cc.o.d"
+  "CMakeFiles/whisper_core.dir/whisper_predictor.cc.o"
+  "CMakeFiles/whisper_core.dir/whisper_predictor.cc.o.d"
+  "CMakeFiles/whisper_core.dir/whisper_trainer.cc.o"
+  "CMakeFiles/whisper_core.dir/whisper_trainer.cc.o.d"
+  "libwhisper_core.a"
+  "libwhisper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_rombf.dir/rombf_formula.cc.o"
+  "CMakeFiles/whisper_rombf.dir/rombf_formula.cc.o.d"
+  "CMakeFiles/whisper_rombf.dir/rombf_predictor.cc.o"
+  "CMakeFiles/whisper_rombf.dir/rombf_predictor.cc.o.d"
+  "CMakeFiles/whisper_rombf.dir/rombf_trainer.cc.o"
+  "CMakeFiles/whisper_rombf.dir/rombf_trainer.cc.o.d"
+  "libwhisper_rombf.a"
+  "libwhisper_rombf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_rombf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_sim.dir/analysis.cc.o"
+  "CMakeFiles/whisper_sim.dir/analysis.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/classifier.cc.o"
+  "CMakeFiles/whisper_sim.dir/classifier.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/experiment.cc.o"
+  "CMakeFiles/whisper_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/profiler.cc.o"
+  "CMakeFiles/whisper_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/runner.cc.o"
+  "CMakeFiles/whisper_sim.dir/runner.cc.o.d"
+  "libwhisper_sim.a"
+  "libwhisper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

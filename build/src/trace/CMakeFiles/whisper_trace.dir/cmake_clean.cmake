@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_trace.dir/branch_trace.cc.o"
+  "CMakeFiles/whisper_trace.dir/branch_trace.cc.o.d"
+  "CMakeFiles/whisper_trace.dir/global_history.cc.o"
+  "CMakeFiles/whisper_trace.dir/global_history.cc.o.d"
+  "libwhisper_trace.a"
+  "libwhisper_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

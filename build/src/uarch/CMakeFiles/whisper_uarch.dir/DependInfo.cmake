@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/btb.cc" "src/uarch/CMakeFiles/whisper_uarch.dir/btb.cc.o" "gcc" "src/uarch/CMakeFiles/whisper_uarch.dir/btb.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/whisper_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/whisper_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/pipeline.cc" "src/uarch/CMakeFiles/whisper_uarch.dir/pipeline.cc.o" "gcc" "src/uarch/CMakeFiles/whisper_uarch.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bp/CMakeFiles/whisper_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whisper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

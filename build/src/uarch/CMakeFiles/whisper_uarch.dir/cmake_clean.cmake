@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_uarch.dir/btb.cc.o"
+  "CMakeFiles/whisper_uarch.dir/btb.cc.o.d"
+  "CMakeFiles/whisper_uarch.dir/cache.cc.o"
+  "CMakeFiles/whisper_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/whisper_uarch.dir/pipeline.cc.o"
+  "CMakeFiles/whisper_uarch.dir/pipeline.cc.o.d"
+  "libwhisper_uarch.a"
+  "libwhisper_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

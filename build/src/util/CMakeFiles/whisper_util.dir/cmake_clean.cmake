@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_util.dir/histogram.cc.o"
+  "CMakeFiles/whisper_util.dir/histogram.cc.o.d"
+  "CMakeFiles/whisper_util.dir/rng.cc.o"
+  "CMakeFiles/whisper_util.dir/rng.cc.o.d"
+  "CMakeFiles/whisper_util.dir/stats.cc.o"
+  "CMakeFiles/whisper_util.dir/stats.cc.o.d"
+  "CMakeFiles/whisper_util.dir/table.cc.o"
+  "CMakeFiles/whisper_util.dir/table.cc.o.d"
+  "libwhisper_util.a"
+  "libwhisper_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_workloads.dir/app_workload.cc.o"
+  "CMakeFiles/whisper_workloads.dir/app_workload.cc.o.d"
+  "CMakeFiles/whisper_workloads.dir/catalog.cc.o"
+  "CMakeFiles/whisper_workloads.dir/catalog.cc.o.d"
+  "libwhisper_workloads.a"
+  "libwhisper_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branchnet.dir/test_branchnet.cc.o"
+  "CMakeFiles/test_branchnet.dir/test_branchnet.cc.o.d"
+  "test_branchnet"
+  "test_branchnet.pdb"
+  "test_branchnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branchnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_formula.cc" "tests/CMakeFiles/test_formula.dir/test_formula.cc.o" "gcc" "tests/CMakeFiles/test_formula.dir/test_formula.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/whisper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/branchnet/CMakeFiles/whisper_branchnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rombf/CMakeFiles/whisper_rombf.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/whisper_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/whisper_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/whisper_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whisper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

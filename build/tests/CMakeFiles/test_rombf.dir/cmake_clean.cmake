@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rombf.dir/test_rombf.cc.o"
+  "CMakeFiles/test_rombf.dir/test_rombf.cc.o.d"
+  "test_rombf"
+  "test_rombf.pdb"
+  "test_rombf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rombf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_eval.dir/whisper_eval.cc.o"
+  "CMakeFiles/whisper_eval.dir/whisper_eval.cc.o.d"
+  "whisper_eval"
+  "whisper_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

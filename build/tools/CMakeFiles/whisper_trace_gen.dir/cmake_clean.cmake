@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_trace_gen.dir/whisper_trace_gen.cc.o"
+  "CMakeFiles/whisper_trace_gen.dir/whisper_trace_gen.cc.o.d"
+  "whisper_trace_gen"
+  "whisper_trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

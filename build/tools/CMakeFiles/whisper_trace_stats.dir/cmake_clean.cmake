@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_trace_stats.dir/whisper_trace_stats.cc.o"
+  "CMakeFiles/whisper_trace_stats.dir/whisper_trace_stats.cc.o.d"
+  "whisper_trace_stats"
+  "whisper_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

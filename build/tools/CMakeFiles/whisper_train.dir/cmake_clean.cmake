@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_train.dir/whisper_train.cc.o"
+  "CMakeFiles/whisper_train.dir/whisper_train.cc.o.d"
+  "whisper_train"
+  "whisper_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
