@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Continuous-PGO replay: whisperd's train/validate/deploy loop
+ * running alongside an adaptive fleet simulation while the workload
+ * drifts from kafka input #0 to input #1 mid-stream.
+ *
+ * Extends the paper's input-sensitivity result (Fig. 17): a static
+ * bundle trained on input #0 degrades after the drift, while the
+ * service retrains on recent chunks and redeploys through the
+ * versioned hint store, so the fleet predictor follows the workload.
+ */
+
+#include <memory>
+
+#include "common.hh"
+#include "service/chunk_profiler.hh"
+#include "service/hint_store.hh"
+#include "service/training_pool.hh"
+#include "sim/runner.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+namespace
+{
+
+std::vector<BranchRecord>
+driftStream(const AppConfig &app, uint64_t perInput)
+{
+    std::vector<BranchRecord> records;
+    records.reserve(2 * perInput);
+    for (uint32_t input : {0u, 1u}) {
+        AppWorkload workload(app, input, perInput);
+        BranchRecord rec;
+        while (workload.next(rec))
+            records.push_back(rec);
+    }
+    return records;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("whisperd adaptive replay under input drift",
+           "SV-A / Fig. 17 (input drift) + continuous deployment");
+
+    ExperimentConfig cfg = defaultConfig(0.4);
+    const AppConfig &app = appByName("kafka");
+    const uint64_t perInput = cfg.trainRecords;
+    const uint64_t window = perInput / 4; // 8 epochs total
+    const unsigned trainEveryEpochs = 2;
+
+    std::vector<BranchRecord> stream = driftStream(app, perInput);
+
+    // Static reference: one-shot bundle from the pre-drift input.
+    BranchProfile staticProfile = profileApp(app, 0, cfg);
+    WhisperBuild staticBuild =
+        trainWhisper(app, 0, staticProfile, cfg);
+
+    // Online: service components wired around the adaptive runner.
+    // Each epoch boundary hands the finished window to the profiler;
+    // every trainEveryEpochs windows a candidate is trained on the
+    // accumulated profile, validated on the newest window, and
+    // proposed to the store the fleet predictor consults.
+    ChunkProfiler::Options profOpt;
+    profOpt.maxHardBranches = cfg.profile.maxHardBranches;
+    profOpt.statsWarmupRecords = window / 2; // per shard
+    ShardedProfiler shards(
+        cfg.whisper, 2, [&] { return makeTage(cfg.tageBudgetKB); },
+        profOpt);
+    TrainingPool pool(4);
+    WhisperTrainer trainer(cfg.whisper, globalTruthTables());
+    HintInjector injector(cfg.injector);
+    HintStore store;
+    HintStoreConsultant consultant(
+        store, cfg.whisper, globalTruthTables(),
+        [&] { return makeTage(cfg.tageBudgetKB); });
+
+    auto evalWindow = [&](const std::vector<BranchRecord> &records,
+                          const HintBundle *bundle) {
+        ChunkSource src(records);
+        std::unique_ptr<BranchPredictor> pred;
+        if (bundle) {
+            pred = std::make_unique<WhisperPredictor>(
+                makeTage(cfg.tageBudgetKB), cfg.whisper,
+                globalTruthTables(), bundle->hints,
+                bundle->placements);
+        } else {
+            pred = makeTage(cfg.tageBudgetKB);
+        }
+        return runPredictor(src, *pred);
+    };
+
+    uint64_t absorbed = 0;
+    auto onEpoch = [&](uint64_t nextEpoch) -> BranchPredictor * {
+        size_t from = (nextEpoch - 1) * window;
+        size_t to = std::min<size_t>(stream.size(), from + window);
+        std::vector<BranchRecord> finished(stream.begin() + from,
+                                           stream.begin() + to);
+
+        if (nextEpoch % trainEveryEpochs == 0) {
+            shards.drain();
+            BranchProfile profile = shards.aggregate();
+            if (profile.numBranches() > 0) {
+                HintBundle candidate;
+                candidate.hints = pool.train(trainer, profile);
+                ChunkSource placeSrc(finished);
+                candidate.placements =
+                    injector.place(placeSrc, candidate.hints);
+
+                HintStore::Snapshot incumbent = store.current();
+                auto incStats = evalWindow(
+                    finished,
+                    incumbent ? &incumbent->bundle : nullptr);
+                auto candStats = evalWindow(finished, &candidate);
+                store.propose(std::move(candidate),
+                              candStats.accuracy(),
+                              incStats.accuracy());
+            }
+        }
+
+        TraceChunk chunk;
+        chunk.sequence = absorbed++;
+        chunk.records = std::move(finished);
+        shards.submit(std::move(chunk));
+        return consultant.refresh(nextEpoch);
+    };
+
+    // Start the fleet on the consultant-managed predictor (no hints
+    // deployed yet, so it behaves as plain TAGE); every later
+    // deployment swaps hints in place with the tables kept warm.
+    ChunkSource onlineSource(stream);
+    AdaptiveRunStats online = runPredictorAdaptive(
+        onlineSource, consultant.predictor(), window, onEpoch);
+
+    // References over the same stream, cut at the same windows.
+    ChunkSource tageSource(stream);
+    std::unique_ptr<BranchPredictor> tage =
+        makeTage(cfg.tageBudgetKB);
+    AdaptiveRunStats tageRun = runPredictorAdaptive(
+        tageSource, *tage, window, [](uint64_t) { return nullptr; });
+
+    ChunkSource staticSource(stream);
+    auto staticPred = makeWhisperPredictor(cfg, staticBuild);
+    AdaptiveRunStats staticRun = runPredictorAdaptive(
+        staticSource, *staticPred, window,
+        [](uint64_t) { return nullptr; });
+
+    TableReporter table("per-epoch MPKI over the drift stream "
+                        "(inputs #0 -> #1 at the midpoint)");
+    table.setHeader({"epoch", "tage", "static-whisper",
+                     "online-whisperd"});
+    for (size_t e = 0; e < online.perEpoch.size(); ++e) {
+        table.addRow("epoch " + std::to_string(e),
+                     {tageRun.perEpoch[e].mpki(),
+                      staticRun.perEpoch[e].mpki(),
+                      online.perEpoch[e].mpki()},
+                     3);
+    }
+    table.addRow("total", {tageRun.total.mpki(),
+                           staticRun.total.mpki(),
+                           online.total.mpki()},
+                 3);
+    table.print();
+
+    std::printf("\ndeployments: accepted=%llu rejected=%llu "
+                "swaps=%llu final-epoch=%llu\n",
+                static_cast<unsigned long long>(store.accepted()),
+                static_cast<unsigned long long>(store.rejected()),
+                static_cast<unsigned long long>(
+                    online.predictorSwaps),
+                static_cast<unsigned long long>(store.epoch()));
+    std::printf("accuracy: tage %.4f%%, static-whisper %.4f%%, "
+                "online-whisperd %.4f%%\n",
+                100.0 * tageRun.total.accuracy(),
+                100.0 * staticRun.total.accuracy(),
+                100.0 * online.total.accuracy());
+    return 0;
+}

@@ -36,6 +36,8 @@ struct HintPlacement
     /** Dynamic executions of the predecessor on the training trace
      * (= brhint instructions executed there). */
     uint64_t predecessorExecutions = 0;
+
+    bool operator==(const HintPlacement &o) const = default;
 };
 
 /** Static/dynamic instruction overhead of an injection (Fig. 19). */

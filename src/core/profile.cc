@@ -104,6 +104,15 @@ BranchProfile::hardBranches() const
     return hard;
 }
 
+BranchProfile
+BranchProfile::merge(const BranchProfile &a, const BranchProfile &b)
+{
+    BranchProfile out(a.config());
+    out.mergeFrom(a);
+    out.mergeFrom(b);
+    return out;
+}
+
 void
 BranchProfile::mergeFrom(const BranchProfile &other)
 {

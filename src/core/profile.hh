@@ -62,6 +62,8 @@ struct HashedSampleTable
     uint64_t oracleMispredicts() const;
 
     bool empty() const { return taken.empty(); }
+
+    bool operator==(const HashedSampleTable &o) const = default;
 };
 
 /** Profile record for one static conditional branch. */
@@ -99,6 +101,8 @@ struct BranchProfileEntry
             : 1.0 - static_cast<double>(baselineMispredicts) /
                     executions;
     }
+
+    bool operator==(const BranchProfileEntry &o) const = default;
 };
 
 /**
@@ -142,6 +146,28 @@ class BranchProfile
      * counts; a branch is hard in the union if hard in either.
      */
     void mergeFrom(const BranchProfile &other);
+
+    /**
+     * Associative, commutative combination of two profiles: the
+     * profile of a trace split into chunks equals the merge of the
+     * per-chunk profiles (given identical profiling state threading,
+     * see service/ChunkProfiler). This is what lets N ingest shards
+     * profile independently and combine (and what the paper's
+     * merged-profile experiment, Fig. 18, relies on).
+     */
+    static BranchProfile merge(const BranchProfile &a,
+                               const BranchProfile &b);
+
+    /** Structural equality of all counts and tables (test support;
+     * the config itself is compared via its length series). */
+    bool operator==(const BranchProfile &o) const
+    {
+        return lengths_ == o.lengths_ &&
+               totalInstructions == o.totalInstructions &&
+               totalConditionals == o.totalConditionals &&
+               totalMispredicts == o.totalMispredicts &&
+               entries_ == o.entries_;
+    }
 
     uint64_t totalInstructions = 0;
     uint64_t totalConditionals = 0;

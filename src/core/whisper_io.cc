@@ -11,6 +11,7 @@ namespace
 
 constexpr uint32_t kProfileMagic = 0x57485052; // "WHPR"
 constexpr uint32_t kHintMagic = 0x57484E54;    // "WHNT"
+constexpr uint32_t kEpochMagic = 0x57484550;   // "WHEP"
 constexpr uint32_t kVersion = 1;
 
 /** Minimal checked binary writer/reader over stdio. */
@@ -94,6 +95,62 @@ getSampleTable(BinFile &f, HashedSampleTable &t)
     return f.getVec32(t.taken, 1 << 20) &&
            f.getVec32(t.notTaken, 1 << 20) &&
            t.taken.size() == t.notTaken.size();
+}
+
+void
+putBundleBody(BinFile &f, const HintBundle &bundle)
+{
+    f.put(static_cast<uint64_t>(bundle.hints.size()));
+    for (const auto &h : bundle.hints) {
+        f.put(h.pc);
+        f.put(h.hint.encode());
+        f.put(h.historyLength);
+        f.put(h.expectedMispredicts);
+        f.put(h.profiledMispredicts);
+        f.put(h.executions);
+    }
+    f.put(static_cast<uint64_t>(bundle.placements.size()));
+    for (const auto &p : bundle.placements) {
+        f.put(p.branchPc);
+        f.put(p.predecessorPc);
+        f.put(p.coverage);
+        f.put(p.precision);
+        f.put(p.predecessorExecutions);
+    }
+}
+
+bool
+getBundleBody(BinFile &f, HintBundle &bundle)
+{
+    uint64_t n = 0;
+    f.get(n);
+    if (!f.valid() || n > (1ULL << 24))
+        return false;
+    bundle.hints.resize(n);
+    for (auto &h : bundle.hints) {
+        uint64_t encoded = 0;
+        f.get(h.pc);
+        f.get(encoded);
+        if (!f.valid() || encoded >= (1ULL << BrHint::kEncodedBits))
+            return false;
+        h.hint = BrHint::decode(encoded);
+        f.get(h.historyLength);
+        f.get(h.expectedMispredicts);
+        f.get(h.profiledMispredicts);
+        f.get(h.executions);
+    }
+    f.get(n);
+    if (!f.valid() || n > (1ULL << 24))
+        return false;
+    bundle.placements.resize(n);
+    for (auto &p : bundle.placements) {
+        f.get(p.branchPc);
+        f.get(p.predecessorPc);
+        f.get(p.coverage);
+        f.get(p.precision);
+        f.get(p.predecessorExecutions);
+    }
+    return f.valid();
 }
 
 } // namespace
@@ -206,23 +263,7 @@ saveHintBundle(const HintBundle &bundle, const std::string &path)
         return false;
     f.put(kHintMagic);
     f.put(kVersion);
-    f.put(static_cast<uint64_t>(bundle.hints.size()));
-    for (const auto &h : bundle.hints) {
-        f.put(h.pc);
-        f.put(h.hint.encode());
-        f.put(h.historyLength);
-        f.put(h.expectedMispredicts);
-        f.put(h.profiledMispredicts);
-        f.put(h.executions);
-    }
-    f.put(static_cast<uint64_t>(bundle.placements.size()));
-    for (const auto &p : bundle.placements) {
-        f.put(p.branchPc);
-        f.put(p.predecessorPc);
-        f.put(p.coverage);
-        f.put(p.precision);
-        f.put(p.predecessorExecutions);
-    }
+    putBundleBody(f, bundle);
     return f.valid();
 }
 
@@ -239,35 +280,46 @@ loadHintBundle(HintBundle &bundle, const std::string &path)
         return false;
 
     HintBundle loaded;
-    uint64_t n = 0;
-    f.get(n);
-    if (!f.valid() || n > (1ULL << 24))
+    if (!getBundleBody(f, loaded))
         return false;
-    loaded.hints.resize(n);
-    for (auto &h : loaded.hints) {
-        uint64_t encoded = 0;
-        f.get(h.pc);
-        f.get(encoded);
-        if (!f.valid() || encoded >= (1ULL << BrHint::kEncodedBits))
-            return false;
-        h.hint = BrHint::decode(encoded);
-        f.get(h.historyLength);
-        f.get(h.expectedMispredicts);
-        f.get(h.profiledMispredicts);
-        f.get(h.executions);
-    }
-    f.get(n);
-    if (!f.valid() || n > (1ULL << 24))
-        return false;
-    loaded.placements.resize(n);
-    for (auto &p : loaded.placements) {
-        f.get(p.branchPc);
-        f.get(p.predecessorPc);
-        f.get(p.coverage);
-        f.get(p.precision);
-        f.get(p.predecessorExecutions);
-    }
+    bundle = std::move(loaded);
+    return true;
+}
+
+bool
+saveVersionedBundle(const VersionedHintBundle &bundle,
+                    const std::string &path)
+{
+    BinFile f(path, "wb");
     if (!f.valid())
+        return false;
+    f.put(kEpochMagic);
+    f.put(kVersion);
+    f.put(bundle.epoch);
+    f.put(bundle.validationAccuracy);
+    putBundleBody(f, bundle.bundle);
+    return f.valid();
+}
+
+bool
+loadVersionedBundle(VersionedHintBundle &bundle,
+                    const std::string &path)
+{
+    BinFile f(path, "rb");
+    if (!f.valid())
+        return false;
+    uint32_t magic = 0, version = 0;
+    f.get(magic);
+    f.get(version);
+    if (!f.valid() || magic != kEpochMagic || version != kVersion)
+        return false;
+
+    VersionedHintBundle loaded;
+    f.get(loaded.epoch);
+    f.get(loaded.validationAccuracy);
+    if (!f.valid())
+        return false;
+    if (!getBundleBody(f, loaded.bundle))
         return false;
     bundle = std::move(loaded);
     return true;

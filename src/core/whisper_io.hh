@@ -27,6 +27,23 @@ struct HintBundle
 {
     std::vector<TrainedHint> hints;
     std::vector<HintPlacement> placements;
+
+    bool operator==(const HintBundle &o) const = default;
+};
+
+/**
+ * A hint bundle stamped with its deployment epoch and the validation
+ * accuracy it was accepted with — what whisperd's versioned hint
+ * store persists so a restarted consumer can tell which generation
+ * of hints it is running.
+ */
+struct VersionedHintBundle
+{
+    uint64_t epoch = 0;
+    double validationAccuracy = 0.0;
+    HintBundle bundle;
+
+    bool operator==(const VersionedHintBundle &o) const = default;
 };
 
 /** Save/load a profile. @return false on I/O or format error. */
@@ -38,6 +55,13 @@ bool loadProfile(BranchProfile &profile, const std::string &path);
 bool saveHintBundle(const HintBundle &bundle,
                     const std::string &path);
 bool loadHintBundle(HintBundle &bundle, const std::string &path);
+
+/** Save/load an epoch-stamped bundle (own magic; bad magic or a
+ * truncated epoch header is rejected). */
+bool saveVersionedBundle(const VersionedHintBundle &bundle,
+                         const std::string &path);
+bool loadVersionedBundle(VersionedHintBundle &bundle,
+                         const std::string &path);
 
 } // namespace whisper
 

@@ -21,6 +21,17 @@ WhisperPredictor::WhisperPredictor(
     for (unsigned len : lengths_)
         history_.addFoldedView(len, cfg.hashWidth);
 
+    replaceHints(hints, placements);
+}
+
+void
+WhisperPredictor::replaceHints(
+    const std::vector<TrainedHint> &hints,
+    const std::vector<HintPlacement> &placements)
+{
+    hints_.clear();
+    triggers_.clear();
+    buffer_.clear();
     for (const auto &h : hints)
         hints_[h.pc] = h.hint;
     for (const auto &pl : placements) {

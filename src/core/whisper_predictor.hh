@@ -45,6 +45,16 @@ class WhisperPredictor : public BranchPredictor
                      const std::vector<TrainedHint> &hints,
                      const std::vector<HintPlacement> &placements);
 
+    /**
+     * Swap in a new hint deployment without disturbing the dynamic
+     * predictor or history state — the model of whisperd pushing a
+     * fresh bundle to a running fleet: the rewritten binary carries
+     * new brhint instructions (so the hint buffer starts empty), but
+     * the hardware predictor tables stay warm.
+     */
+    void replaceHints(const std::vector<TrainedHint> &hints,
+                      const std::vector<HintPlacement> &placements);
+
     bool predict(uint64_t pc, bool oracleTaken) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;

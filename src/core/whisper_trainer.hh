@@ -31,6 +31,8 @@ struct TrainedHint
     uint64_t expectedMispredicts = 0; //!< m' on the training profile
     uint64_t profiledMispredicts = 0; //!< baseline on the profile
     uint64_t executions = 0;
+
+    bool operator==(const TrainedHint &o) const = default;
 };
 
 /** Aggregate statistics of one training run. */

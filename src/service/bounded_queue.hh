@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bounded multi-producer queue connecting whisperd's ingest threads
+ * to its consumers.
+ *
+ * A fixed-capacity ring guarded by one mutex and two condition
+ * variables: producers block when the ring is full (backpressure
+ * toward the trace readers instead of unbounded buffering), consumers
+ * block when it is empty. close() wakes everyone; a closed queue
+ * drains its remaining elements before pop() starts returning false,
+ * so no ingested chunk is ever dropped.
+ */
+
+#ifndef WHISPER_SERVICE_BOUNDED_QUEUE_HH
+#define WHISPER_SERVICE_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+/** Bounded blocking MPSC/MPMC queue. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
+    {
+        whisper_assert(capacity > 0);
+    }
+
+    /**
+     * Block until there is room, then enqueue.
+     * @return false when the queue was closed (item not enqueued).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an element is available or the queue is closed and
+     * drained. @return false only in the latter case.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking pop. @return false when nothing was available. */
+    bool
+    tryPop(T &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** No further pushes; consumers drain what remains. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_BOUNDED_QUEUE_HH

@@ -1,0 +1,187 @@
+#include "service/chunk_profiler.hh"
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+ChunkProfiler::ChunkProfiler(const WhisperConfig &cfg,
+                             std::unique_ptr<BranchPredictor> baseline,
+                             const Options &opt)
+    : cfg_(cfg), opt_(opt), baseline_(std::move(baseline)),
+      lengths_(geometricLengths(cfg)),
+      history_(2 * cfg.maxHistoryLength)
+{
+    whisper_assert(baseline_ != nullptr);
+    for (unsigned len : lengths_)
+        history_.addFoldedView(len, cfg_.hashWidth);
+}
+
+void
+ChunkProfiler::trackHard(uint64_t pc)
+{
+    hard_.insert(pc);
+}
+
+BranchProfile
+ChunkProfiler::profileChunk(const std::vector<BranchRecord> &records)
+{
+    BranchProfile profile(cfg_);
+
+    for (const BranchRecord &rec : records) {
+        // During warm-up the baseline and history still train, but
+        // nothing is recorded into the profile.
+        bool warm = recordsProfiled_ >= opt_.statsWarmupRecords;
+        ++recordsProfiled_;
+        if (warm)
+            profile.totalInstructions +=
+                static_cast<uint64_t>(rec.instGap) + 1;
+        if (!rec.isConditional()) {
+            baseline_->onRecord(rec);
+            continue;
+        }
+
+        bool pred = baseline_->predict(rec.pc, rec.taken);
+        baseline_->update(rec.pc, rec.taken, pred);
+        baseline_->onRecord(rec);
+
+        if (!warm) {
+            history_.push(rec.taken);
+            continue;
+        }
+
+        ++profile.totalConditionals;
+        BranchProfileEntry &e = profile.entry(rec.pc);
+        ++e.executions;
+        if (rec.taken)
+            ++e.takenCount;
+        bool mispredicted = pred != rec.taken;
+        if (mispredicted) {
+            ++e.baselineMispredicts;
+            ++profile.totalMispredicts;
+            if (opt_.adaptivePromotion &&
+                !hard_.contains(rec.pc) &&
+                hard_.size() < opt_.maxHardBranches) {
+                uint64_t &misses = lifetimeMispredicts_[rec.pc];
+                if (++misses >= opt_.promoteMispredicts)
+                    hard_.insert(rec.pc);
+            }
+        }
+
+        if (hard_.contains(rec.pc)) {
+            if (!e.hard)
+                profile.markHard(rec.pc);
+            for (size_t l = 0; l < lengths_.size(); ++l)
+                e.byLength[l].record(history_.foldedValue(l),
+                                     rec.taken);
+            e.raw4.record(
+                static_cast<unsigned>(history_.lastBits(4)),
+                rec.taken);
+            e.raw8.record(
+                static_cast<unsigned>(history_.lastBits(8)),
+                rec.taken);
+        }
+        history_.push(rec.taken);
+    }
+    return profile;
+}
+
+ShardedProfiler::ShardedProfiler(const WhisperConfig &cfg,
+                                 unsigned shards,
+                                 const BaselineFactory &baseline,
+                                 const ChunkProfiler::Options &opt,
+                                 size_t queueCapacity)
+    : cfg_(cfg)
+{
+    whisper_assert(shards > 0);
+    for (unsigned s = 0; s < shards; ++s) {
+        shards_.push_back(std::make_unique<Shard>(
+            cfg, baseline(), opt, queueCapacity));
+    }
+    for (auto &shard : shards_) {
+        Shard *s = shard.get();
+        shard->worker = std::thread([this, s] { workerLoop(*s); });
+    }
+}
+
+ShardedProfiler::~ShardedProfiler()
+{
+    for (auto &shard : shards_)
+        shard->queue.close();
+    for (auto &shard : shards_)
+        if (shard->worker.joinable())
+            shard->worker.join();
+}
+
+void
+ShardedProfiler::workerLoop(Shard &shard)
+{
+    TraceChunk chunk;
+    while (shard.queue.pop(chunk)) {
+        BranchProfile partial =
+            shard.profiler.profileChunk(chunk.records);
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.accumulated.mergeFrom(partial);
+            ++shard.completed;
+            ++shard.chunks;
+        }
+        shard.idle.notify_all();
+    }
+}
+
+void
+ShardedProfiler::submit(TraceChunk chunk)
+{
+    Shard &shard = *shards_[chunk.sequence % shards_.size()];
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.submitted;
+    }
+    bool pushed = shard.queue.push(std::move(chunk));
+    whisper_assert(pushed, "submit() after shutdown");
+}
+
+void
+ShardedProfiler::drain()
+{
+    for (auto &shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard->mutex);
+        shard->idle.wait(lock, [&] {
+            return shard->completed == shard->submitted;
+        });
+    }
+}
+
+BranchProfile
+ShardedProfiler::aggregate()
+{
+    BranchProfile out(cfg_);
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.mergeFrom(shard->accumulated);
+    }
+    return out;
+}
+
+uint64_t
+ShardedProfiler::recordsProfiled() const
+{
+    uint64_t sum = 0;
+    for (const auto &shard : shards_)
+        sum += shard->profiler.recordsProfiled();
+    return sum;
+}
+
+uint64_t
+ShardedProfiler::chunksProfiled() const
+{
+    uint64_t sum = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        sum += shard->chunks;
+    }
+    return sum;
+}
+
+} // namespace whisper

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Single-pass streaming profile collection for whisperd.
+ *
+ * The offline profiler (sim/collectProfile) makes two passes over a
+ * materialized trace; a service consuming an endless chunk stream
+ * gets one look at each record. ChunkProfiler therefore keeps the
+ * baseline predictor, the global history and the hard-branch set
+ * alive across chunks and emits one partial BranchProfile per chunk.
+ * Because every piece of profiling state threads through chunk
+ * boundaries, the per-chunk profiles combine exactly:
+ *
+ *   Profile::merge(profile(chunk A), profile(chunk B))
+ *     == profile(chunk A ++ chunk B)
+ *
+ * which is what makes the sharded aggregation below associative.
+ *
+ * Hard branches are promoted adaptively: once a branch has
+ * accumulated enough lifetime mispredictions it starts collecting
+ * the hashed-history sample tables of Algorithm 1 (the offline
+ * profiler instead selects them between its two passes).
+ */
+
+#ifndef WHISPER_SERVICE_CHUNK_PROFILER_HH
+#define WHISPER_SERVICE_CHUNK_PROFILER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bp/branch_predictor.hh"
+#include "core/profile.hh"
+#include "service/bounded_queue.hh"
+#include "service/trace_stream.hh"
+#include "trace/global_history.hh"
+
+namespace whisper
+{
+
+/** Factory for fresh baseline predictor instances. */
+using BaselineFactory =
+    std::function<std::unique_ptr<BranchPredictor>()>;
+
+/** Streaming profiler with state persisting across chunks. */
+class ChunkProfiler
+{
+  public:
+    struct Options
+    {
+        /** Cap on branches with detailed tables (memory bound). */
+        unsigned maxHardBranches = 512;
+        /** Lifetime mispredictions before a branch turns hard. */
+        uint64_t promoteMispredicts = 16;
+        /** When false, only branches pre-registered via trackHard()
+         * collect tables (used by the merge-equality tests). */
+        bool adaptivePromotion = true;
+        /**
+         * Lifetime records to run through the baseline before any
+         * statistics are recorded — the streaming analog of the
+         * offline profiler's statsWarmupFraction: cold-start
+         * mispredictions would otherwise make the baseline look
+         * worse than its steady state and skew hint selection.
+         * Counted from profiler birth, so merge equality holds.
+         */
+        uint64_t statsWarmupRecords = 0;
+    };
+
+    ChunkProfiler(const WhisperConfig &cfg,
+                  std::unique_ptr<BranchPredictor> baseline,
+                  const Options &opt);
+    ChunkProfiler(const WhisperConfig &cfg,
+                  std::unique_ptr<BranchPredictor> baseline)
+        : ChunkProfiler(cfg, std::move(baseline), Options{})
+    {
+    }
+
+    /** Pre-designate @p pc as hard (tables from the next record). */
+    void trackHard(uint64_t pc);
+
+    /** Profile one chunk, advancing the persistent state. */
+    BranchProfile profileChunk(const std::vector<BranchRecord> &records);
+
+    size_t numHardTracked() const { return hard_.size(); }
+    uint64_t recordsProfiled() const { return recordsProfiled_; }
+    const WhisperConfig &config() const { return cfg_; }
+
+  private:
+    WhisperConfig cfg_;
+    Options opt_;
+    std::unique_ptr<BranchPredictor> baseline_;
+    std::vector<unsigned> lengths_;
+    GlobalHistory history_;
+    std::unordered_set<uint64_t> hard_;
+    /** Lifetime misprediction counts driving promotion. */
+    std::unordered_map<uint64_t, uint64_t> lifetimeMispredicts_;
+    uint64_t recordsProfiled_ = 0;
+};
+
+/**
+ * Sharded profile aggregator: N worker threads each own a
+ * ChunkProfiler and accumulate a shard profile; chunks are routed by
+ * sequence number (deterministic regardless of thread timing) and
+ * the aggregate is the associative merge of the shard profiles in
+ * shard order.
+ */
+class ShardedProfiler
+{
+  public:
+    ShardedProfiler(const WhisperConfig &cfg, unsigned shards,
+                    const BaselineFactory &baseline,
+                    const ChunkProfiler::Options &opt
+                    = ChunkProfiler::Options{},
+                    size_t queueCapacity = 4);
+    ~ShardedProfiler();
+
+    /** Route @p chunk to shard (sequence mod N); blocks when that
+     * shard's queue is full (backpressure). */
+    void submit(TraceChunk chunk);
+
+    /** Barrier: wait until every submitted chunk is folded in. */
+    void drain();
+
+    /** Deterministic merge of all shard profiles (drain() first). */
+    BranchProfile aggregate();
+
+    unsigned numShards() const { return static_cast<unsigned>(shards_.size()); }
+    uint64_t recordsProfiled() const;
+    uint64_t chunksProfiled() const;
+
+  private:
+    struct Shard
+    {
+        explicit Shard(const WhisperConfig &cfg,
+                       std::unique_ptr<BranchPredictor> baseline,
+                       const ChunkProfiler::Options &opt,
+                       size_t queueCapacity)
+            : queue(queueCapacity), profiler(cfg, std::move(baseline), opt),
+              accumulated(cfg)
+        {
+        }
+
+        BoundedQueue<TraceChunk> queue;
+        ChunkProfiler profiler;
+        BranchProfile accumulated;
+        std::thread worker;
+
+        std::mutex mutex;
+        std::condition_variable idle;
+        uint64_t submitted = 0;
+        uint64_t completed = 0;
+        uint64_t chunks = 0;
+    };
+
+    void workerLoop(Shard &shard);
+
+    WhisperConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_CHUNK_PROFILER_HH

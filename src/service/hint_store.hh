@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Versioned hint-bundle store: whisperd's deployment point.
+ *
+ * The consumer side (a simulated fleet, or the adaptive runner in
+ * sim/runner) reads the currently deployed bundle wait-free through
+ * an RCU-style std::atomic<std::shared_ptr>: readers pin whatever
+ * generation they observed and keep using it while the trainer
+ * publishes the next one. Epochs increase monotonically with every
+ * deployment (including rollbacks, which re-publish an old payload
+ * under a new epoch).
+ *
+ * Deployment is guarded: a candidate bundle must beat the incumbent
+ * on a held-out validation window or it is rejected — the
+ * rollback-on-regression rule that keeps a bad training epoch from
+ * ever reaching the fleet.
+ */
+
+#ifndef WHISPER_SERVICE_HINT_STORE_HH
+#define WHISPER_SERVICE_HINT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bp/branch_predictor.hh"
+#include "core/whisper_io.hh"
+#include "core/whisper_predictor.hh"
+#include "service/chunk_profiler.hh"
+
+namespace whisper
+{
+
+/** Versioned, atomically swappable bundle store. */
+class HintStore
+{
+  public:
+    using Snapshot = std::shared_ptr<const VersionedHintBundle>;
+
+    /** Currently deployed bundle; nullptr before any deployment.
+     * Wait-free for readers. */
+    Snapshot
+    current() const
+    {
+        return current_.load(std::memory_order_acquire);
+    }
+
+    /** Epoch of the deployed bundle (0 = nothing deployed). */
+    uint64_t
+    epoch() const
+    {
+        Snapshot snap = current();
+        return snap ? snap->epoch : 0;
+    }
+
+    /**
+     * Offer a candidate for deployment. Accepted (and atomically
+     * swapped in under a fresh epoch) only when it beats the
+     * incumbent on the shared validation window by more than
+     * @p margin; rejected otherwise.
+     *
+     * @param candidateAccuracy candidate's validation accuracy
+     * @param incumbentAccuracy deployed bundle's (or the un-hinted
+     *        baseline's) accuracy on the same window
+     */
+    bool propose(HintBundle candidate, double candidateAccuracy,
+                 double incumbentAccuracy, double margin = 0.0);
+
+    /**
+     * Re-deploy the previously accepted bundle under a fresh epoch
+     * (manual regression escape hatch). @return false when there is
+     * no earlier generation to return to.
+     */
+    bool rollback();
+
+    uint64_t accepted() const { return accepted_.load(); }
+    uint64_t rejected() const { return rejected_.load(); }
+    uint64_t rollbacks() const { return rollbacks_.load(); }
+
+    /** Number of generations ever deployed. */
+    size_t generations() const;
+
+  private:
+    void publish(std::shared_ptr<const VersionedHintBundle> next);
+
+    std::atomic<std::shared_ptr<const VersionedHintBundle>> current_{
+        nullptr};
+
+    mutable std::mutex historyMutex_;
+    std::vector<Snapshot> history_;
+
+    std::atomic<uint64_t> nextEpoch_{1};
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> rollbacks_{0};
+};
+
+/**
+ * Glue between a HintStore and sim/runPredictorAdaptive: each epoch
+ * boundary, rebuild the Whisper predictor iff the store has deployed
+ * a new generation since the last look.
+ */
+class HintStoreConsultant
+{
+  public:
+    HintStoreConsultant(const HintStore &store,
+                        const WhisperConfig &cfg,
+                        const TruthTableCache &cache,
+                        BaselineFactory baseline);
+
+    /**
+     * runPredictorAdaptive refresh hook. The first deployment builds
+     * the managed Whisper predictor (and returns it, so the runner
+     * swaps to it); later deployments replace its hints in place —
+     * the dynamic predictor state stays warm across redeployments,
+     * as on real hardware where a binary push does not flush the
+     * branch predictor tables.
+     */
+    BranchPredictor *refresh(uint64_t nextEpoch);
+
+    /**
+     * The managed predictor, created on first use with whatever is
+     * currently deployed (possibly no hints yet). Handing this to
+     * runPredictorAdaptive as the initial predictor makes every
+     * deployment an in-place hint swap with zero cold restarts.
+     */
+    WhisperPredictor &predictor();
+
+    /** Store epoch the active predictor was built from. */
+    uint64_t deployedEpoch() const { return seenEpoch_; }
+
+  private:
+    const HintStore &store_;
+    WhisperConfig cfg_;
+    const TruthTableCache &cache_;
+    BaselineFactory baseline_;
+    std::unique_ptr<WhisperPredictor> active_;
+    uint64_t seenEpoch_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_HINT_STORE_HH

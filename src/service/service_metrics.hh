@@ -1,0 +1,76 @@
+/**
+ * @file
+ * whisperd's operational metrics, built on util/stats accumulators:
+ * ingest throughput, training latency per epoch, bundle
+ * acceptance, and the per-epoch validation-MPKI movement of the
+ * deployed configuration.
+ */
+
+#ifndef WHISPER_SERVICE_SERVICE_METRICS_HH
+#define WHISPER_SERVICE_SERVICE_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace whisper
+{
+
+/** Counters and accumulators for one service run. */
+struct ServiceMetrics
+{
+    // -- ingest (written by the consumer loop) --
+    uint64_t chunksIngested = 0;
+    uint64_t recordsIngested = 0;
+    uint64_t filesIngested = 0;
+    RunningStat ingestRate; //!< records/sec, one sample per chunk
+
+    // -- training --
+    uint64_t epochsRun = 0;
+    RunningStat trainLatency;    //!< seconds per training epoch
+    RunningStat hintsPerEpoch;   //!< bundle size per epoch
+    RatioStat bundleAcceptance;  //!< accepted / proposed
+    /** Validation MPKI of the deployed configuration after each
+     * epoch minus before it (negative = the swap helped). */
+    RunningStat deployedMpkiDelta;
+
+    void
+    report(std::ostream &os) const
+    {
+        TableReporter t("whisperd service metrics");
+        t.setHeader({"metric", "value"});
+        auto num = [](double v) {
+            return TableReporter::formatDouble(v, 2);
+        };
+        t.addRow({"chunks ingested",
+                  std::to_string(chunksIngested)});
+        t.addRow({"records ingested",
+                  std::to_string(recordsIngested)});
+        t.addRow({"files ingested", std::to_string(filesIngested)});
+        t.addRow({"ingest rate (records/s, mean)",
+                  num(ingestRate.mean())});
+        t.addRow({"training epochs", std::to_string(epochsRun)});
+        t.addRow({"training latency (s, mean)",
+                  num(trainLatency.mean())});
+        t.addRow({"training latency (s, max)",
+                  num(trainLatency.max())});
+        t.addRow({"hints per epoch (mean)",
+                  num(hintsPerEpoch.mean())});
+        t.addRow({"bundles accepted",
+                  std::to_string(bundleAcceptance.hits())});
+        t.addRow({"bundles rejected",
+                  std::to_string(bundleAcceptance.misses())});
+        t.addRow({"acceptance ratio",
+                  num(bundleAcceptance.ratio())});
+        t.addRow({"deployed MPKI delta per epoch (mean)",
+                  num(deployedMpkiDelta.mean())});
+        t.print(os);
+    }
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_SERVICE_METRICS_HH

@@ -1,0 +1,149 @@
+#include "service/trace_stream.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "trace/branch_trace.hh"
+
+namespace whisper
+{
+
+TraceStreamReader::TraceStreamReader(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        return;
+
+    bool ok = true;
+    auto get = [&](void *p, size_t n) {
+        if (ok && std::fread(p, 1, n, file_) != n)
+            ok = false;
+    };
+
+    uint32_t magic = 0, version = 0;
+    get(&magic, sizeof(magic));
+    get(&version, sizeof(version));
+    uint32_t nameLen = 0;
+    get(&nameLen, sizeof(nameLen));
+    if (!ok || magic != BranchTrace::kFileMagic ||
+        version != BranchTrace::kFileVersion || nameLen > 4096) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return;
+    }
+    app_.assign(nameLen, '\0');
+    get(app_.data(), nameLen);
+    get(&inputId_, sizeof(inputId_));
+    get(&recordsTotal_, sizeof(recordsTotal_));
+    if (!ok) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+TraceStreamReader::~TraceStreamReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+size_t
+TraceStreamReader::readChunk(std::vector<BranchRecord> &out,
+                             size_t maxRecords)
+{
+    out.clear();
+    if (!file_ || recordsRead_ >= recordsTotal_ || maxRecords == 0)
+        return 0;
+
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(maxRecords, recordsTotal_ - recordsRead_));
+    out.resize(want);
+    size_t got =
+        std::fread(out.data(), sizeof(BranchRecord), want, file_);
+    out.resize(got);
+    recordsRead_ += got;
+    if (got < want) {
+        // Header promised more records than the file holds: treat
+        // the trace as corrupt and stop the stream here.
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    return got;
+}
+
+ChunkIngestor::ChunkIngestor(std::vector<std::string> files,
+                             size_t chunkRecords,
+                             BoundedQueue<TraceChunk> &queue,
+                             std::atomic<uint64_t> &sequence)
+    : files_(std::move(files)), chunkRecords_(chunkRecords),
+      queue_(queue), sequence_(sequence)
+{
+    whisper_assert(chunkRecords_ > 0);
+}
+
+ChunkIngestor::~ChunkIngestor()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+ChunkIngestor::start()
+{
+    whisper_assert(!thread_.joinable(), "ingestor already started");
+    thread_ = std::thread([this] { produce(); });
+}
+
+void
+ChunkIngestor::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+ChunkIngestor::produce()
+{
+    for (const std::string &file : files_) {
+        TraceStreamReader reader(file);
+        if (!reader.valid()) {
+            errors_.push_back(file);
+            continue;
+        }
+        TraceChunk chunk;
+        while (reader.readChunk(chunk.records, chunkRecords_) > 0) {
+            chunk.sequence =
+                sequence_.fetch_add(1, std::memory_order_relaxed);
+            chunk.app = reader.app();
+            chunk.inputId = reader.inputId();
+            chunk.sourceFile = file;
+            recordsIngested_ += chunk.records.size();
+            ++chunksProduced_;
+            if (!queue_.push(std::move(chunk)))
+                return; // queue closed under us: stop producing
+            chunk = TraceChunk{};
+        }
+        if (!reader.valid())
+            errors_.push_back(file);
+        else
+            ++filesIngested_;
+    }
+}
+
+std::vector<std::string>
+ChunkIngestor::listTraceFiles(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".whrt") {
+            files.push_back(entry.path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace whisper

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Streaming trace ingest for whisperd.
+ *
+ * The offline tools load whole .whrt traces into memory; a
+ * continuously profiling service cannot. TraceStreamReader walks a
+ * trace file in bounded chunks, and ChunkIngestor runs a producer
+ * thread over a directory of trace files (sorted by name, so file
+ * naming encodes the drift sequence) feeding a BoundedQueue of
+ * TraceChunks.
+ */
+
+#ifndef WHISPER_SERVICE_TRACE_STREAM_HH
+#define WHISPER_SERVICE_TRACE_STREAM_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/bounded_queue.hh"
+#include "trace/branch_record.hh"
+#include "trace/branch_source.hh"
+
+namespace whisper
+{
+
+/** One bounded slice of a trace file, the service's unit of work. */
+struct TraceChunk
+{
+    uint64_t sequence = 0;    //!< global arrival index
+    std::string app;          //!< application the trace came from
+    uint32_t inputId = 0;     //!< workload input id
+    std::string sourceFile;   //!< originating .whrt path
+    std::vector<BranchRecord> records;
+};
+
+/** BranchSource view over a chunk's record array. */
+class ChunkSource : public BranchSource
+{
+  public:
+    explicit ChunkSource(const std::vector<BranchRecord> &records)
+        : records_(records)
+    {
+    }
+
+    bool
+    next(BranchRecord &rec) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        rec = records_[pos_++];
+        return true;
+    }
+
+    void rewind() override { pos_ = 0; }
+
+  private:
+    const std::vector<BranchRecord> &records_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Incremental .whrt reader: parses the header eagerly, then returns
+ * records in caller-sized chunks so memory stays bounded no matter
+ * how large the trace file is.
+ */
+class TraceStreamReader
+{
+  public:
+    explicit TraceStreamReader(const std::string &path);
+    ~TraceStreamReader();
+
+    TraceStreamReader(const TraceStreamReader &) = delete;
+    TraceStreamReader &operator=(const TraceStreamReader &) = delete;
+
+    /** Header parsed and magic/version verified. */
+    bool valid() const { return file_ != nullptr; }
+
+    const std::string &app() const { return app_; }
+    uint32_t inputId() const { return inputId_; }
+    const std::string &path() const { return path_; }
+
+    /** Records the header promises / already delivered. */
+    uint64_t recordsTotal() const { return recordsTotal_; }
+    uint64_t recordsRead() const { return recordsRead_; }
+
+    /**
+     * Read up to @p maxRecords into @p out (replacing its contents).
+     * @return number of records delivered; 0 at end of stream. A
+     * short file (fewer records than the header claimed) invalidates
+     * the reader.
+     */
+    size_t readChunk(std::vector<BranchRecord> &out,
+                     size_t maxRecords);
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::string app_;
+    uint32_t inputId_ = 0;
+    uint64_t recordsTotal_ = 0;
+    uint64_t recordsRead_ = 0;
+};
+
+/**
+ * Producer side of the ingest pipeline: streams every trace file of
+ * a directory, in name order, as TraceChunks into a shared queue.
+ * Several ingestors may feed one queue (MPSC); each runs one thread.
+ */
+class ChunkIngestor
+{
+  public:
+    /**
+     * @param chunkRecords chunk granularity (records per chunk)
+     * @param queue destination; NOT closed by the ingestor (the
+     *        coordinator closes it once all producers joined)
+     * @param sequence shared arrival counter for deterministic chunk
+     *        numbering across producers (may be shared or private)
+     */
+    ChunkIngestor(std::vector<std::string> files, size_t chunkRecords,
+                  BoundedQueue<TraceChunk> &queue,
+                  std::atomic<uint64_t> &sequence);
+    ~ChunkIngestor();
+
+    /** Spawn the producer thread. */
+    void start();
+    /** Wait for the producer to finish its file list. */
+    void join();
+
+    uint64_t filesIngested() const { return filesIngested_; }
+    uint64_t chunksProduced() const { return chunksProduced_; }
+    uint64_t recordsIngested() const { return recordsIngested_; }
+    /** Files that failed to open/parse. */
+    const std::vector<std::string> &errors() const { return errors_; }
+
+    /** All .whrt files directly inside @p dir, sorted by name. */
+    static std::vector<std::string>
+    listTraceFiles(const std::string &dir);
+
+  private:
+    void produce();
+
+    std::vector<std::string> files_;
+    size_t chunkRecords_;
+    BoundedQueue<TraceChunk> &queue_;
+    std::atomic<uint64_t> &sequence_;
+    std::thread thread_;
+
+    uint64_t filesIngested_ = 0;
+    uint64_t chunksProduced_ = 0;
+    uint64_t recordsIngested_ = 0;
+    std::vector<std::string> errors_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_TRACE_STREAM_HH

@@ -1,0 +1,82 @@
+#include "service/training_pool.hh"
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+TrainingPool::TrainingPool(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers)
+{
+}
+
+std::vector<TrainedHint>
+TrainingPool::train(const WhisperTrainer &trainer,
+                    const BranchProfile &profile,
+                    TrainingStats *stats) const
+{
+    auto start = std::chrono::steady_clock::now();
+    const WhisperConfig &cfg = trainer.config();
+
+    // Same work list and order as WhisperTrainer::train.
+    std::vector<const BranchProfileEntry *> work;
+    for (const BranchProfileEntry *entry : profile.hardBranches())
+        if (entry->baselineMispredicts >= cfg.minMispredictions)
+            work.push_back(entry);
+
+    std::vector<std::optional<TrainedHint>> slots(work.size());
+    std::vector<uint64_t> scored(work.size(), 0);
+    std::atomic<size_t> cursor{0};
+
+    auto runWorker = [&]() {
+        for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+             i < work.size();
+             i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+            TrainedHint hint;
+            if (trainer.trainBranch(*work[i], profile.lengths(),
+                                    hint, &scored[i])) {
+                slots[i] = hint;
+            }
+        }
+    };
+
+    unsigned spawned = static_cast<unsigned>(
+        std::min<size_t>(workers_, work.size() ? work.size() : 1));
+    if (spawned <= 1) {
+        runWorker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(spawned);
+        for (unsigned w = 0; w < spawned; ++w)
+            threads.emplace_back(runWorker);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    TrainingStats local;
+    local.branchesConsidered = work.size();
+    std::vector<TrainedHint> hints;
+    for (size_t i = 0; i < work.size(); ++i) {
+        local.formulasScored += scored[i];
+        if (slots[i]) {
+            local.coveredMispredicts += slots[i]->profiledMispredicts;
+            local.expectedRemaining += slots[i]->expectedMispredicts;
+            hints.push_back(*slots[i]);
+        }
+    }
+    local.hintsEmitted = hints.size();
+    local.trainSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (stats)
+        *stats = local;
+    return hints;
+}
+
+} // namespace whisper

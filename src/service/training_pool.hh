@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parallel per-branch formula search for whisperd.
+ *
+ * Algorithm 1 is embarrassingly parallel across branches: each hard
+ * branch's history-length scan and randomized formula testing touch
+ * only that branch's sample tables plus the shared read-only truth
+ * table cache. The pool distributes the hard-branch list over N
+ * worker threads through a shared atomic cursor (work stealing:
+ * whichever worker finishes first grabs the next branch, so skewed
+ * per-branch costs balance automatically) and writes each result
+ * into a per-branch slot. Because branches are assembled back in
+ * list order, the emitted bundle is bit-identical for any worker
+ * count — N=4 must equal N=1.
+ */
+
+#ifndef WHISPER_SERVICE_TRAINING_POOL_HH
+#define WHISPER_SERVICE_TRAINING_POOL_HH
+
+#include <vector>
+
+#include "core/profile.hh"
+#include "core/whisper_trainer.hh"
+
+namespace whisper
+{
+
+/** Work-stealing wrapper around WhisperTrainer::trainBranch. */
+class TrainingPool
+{
+  public:
+    explicit TrainingPool(unsigned workers);
+
+    /**
+     * Train hints for every hard branch of @p profile — the exact
+     * result of WhisperTrainer::train(), computed on the pool.
+     */
+    std::vector<TrainedHint> train(const WhisperTrainer &trainer,
+                                   const BranchProfile &profile,
+                                   TrainingStats *stats
+                                   = nullptr) const;
+
+    unsigned workers() const { return workers_; }
+
+  private:
+    unsigned workers_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_TRAINING_POOL_HH

@@ -1,0 +1,178 @@
+#include "service/whisperd.hh"
+
+#include <chrono>
+
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+Whisperd::Whisperd(const WhisperdConfig &cfg,
+                   const TruthTableCache &cache)
+    : cfg_(cfg), cache_(cache), pool_(cfg.trainWorkers)
+{
+    BaselineFactory baseline = [kb = cfg_.tageBudgetKB] {
+        return makeTage(kb);
+    };
+    shards_ = std::make_unique<ShardedProfiler>(
+        cfg_.whisper, cfg_.profileShards, baseline,
+        cfg_.profilePolicy,
+        std::max<size_t>(1, cfg_.queueCapacity / 2));
+}
+
+Whisperd::~Whisperd() = default;
+
+void
+Whisperd::run(const std::string &chunkDir)
+{
+    BoundedQueue<TraceChunk> queue(cfg_.queueCapacity);
+    std::atomic<uint64_t> sequence{0};
+    ChunkIngestor ingestor(ChunkIngestor::listTraceFiles(chunkDir),
+                           cfg_.chunkRecords, queue, sequence);
+    ingestor.start();
+
+    // The ingestor runs concurrently; close the queue once it has
+    // pushed everything so the consumer loop drains and returns.
+    std::thread closer([&] {
+        ingestor.join();
+        queue.close();
+    });
+
+    runFromQueue(queue);
+
+    closer.join();
+    metrics_.filesIngested += ingestor.filesIngested();
+    for (const std::string &bad : ingestor.errors())
+        whisper_warn("whisperd: could not ingest ", bad);
+}
+
+void
+Whisperd::runFromQueue(BoundedQueue<TraceChunk> &queue)
+{
+    using clock = std::chrono::steady_clock;
+    auto runStart = clock::now();
+    uint64_t recordsAtStart = metrics_.recordsIngested;
+    TraceChunk chunk;
+    while (queue.pop(chunk)) {
+        metrics_.recordsIngested += chunk.records.size();
+        ++metrics_.chunksIngested;
+
+        // The previous validation window becomes training data now
+        // that a newer one exists to validate on.
+        if (validationChunk_)
+            absorb(std::move(*validationChunk_));
+        validationChunk_ = std::move(chunk);
+
+        if (chunksSinceTrain_ >= cfg_.epochChunks)
+            trainEpoch();
+
+        // Sustained ingest throughput including profiling and
+        // training stalls — the number a capacity planner wants.
+        double elapsed =
+            std::chrono::duration<double>(clock::now() - runStart)
+                .count();
+        if (elapsed > 0.0)
+            metrics_.ingestRate.add(
+                static_cast<double>(metrics_.recordsIngested -
+                                    recordsAtStart) /
+                elapsed);
+    }
+
+    // Stream over: train one last epoch on anything not yet covered
+    // (the final chunk stays held out as the validation window).
+    if (chunksSinceTrain_ > 0 && validationChunk_)
+        trainEpoch();
+}
+
+void
+Whisperd::absorb(TraceChunk chunk)
+{
+    placementWindow_ = chunk.records;
+    shards_->submit(std::move(chunk));
+    ++chunksSinceTrain_;
+    ++chunksAbsorbed_;
+}
+
+PredictorRunStats
+Whisperd::evalOnValidation(const HintBundle *bundle)
+{
+    whisper_assert(validationChunk_.has_value());
+    ChunkSource source(validationChunk_->records);
+    std::unique_ptr<BranchPredictor> predictor;
+    if (bundle) {
+        predictor = std::make_unique<WhisperPredictor>(
+            makeTage(cfg_.tageBudgetKB), cfg_.whisper, cache_,
+            bundle->hints, bundle->placements);
+    } else {
+        predictor = makeTage(cfg_.tageBudgetKB);
+    }
+    return runPredictor(source, *predictor);
+}
+
+void
+Whisperd::trainEpoch()
+{
+    if (!validationChunk_)
+        return;
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+
+    shards_->drain();
+    BranchProfile profile = shards_->aggregate();
+
+    WhisperTrainer trainer(cfg_.whisper, cache_);
+    TrainingStats stats;
+    HintBundle candidate;
+    candidate.hints = pool_.train(trainer, profile, &stats);
+
+    HintInjector injector(cfg_.injector);
+    if (!placementWindow_.empty()) {
+        ChunkSource placementSource(placementWindow_);
+        candidate.placements =
+            injector.place(placementSource, candidate.hints);
+    }
+
+    double trainSecs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    metrics_.trainLatency.add(trainSecs);
+    metrics_.hintsPerEpoch.add(
+        static_cast<double>(candidate.hints.size()));
+
+    // Validate against the incumbent on the held-out window.
+    HintStore::Snapshot incumbent = store_.current();
+    PredictorRunStats incumbentStats =
+        evalOnValidation(incumbent ? &incumbent->bundle : nullptr);
+    PredictorRunStats candidateStats = evalOnValidation(&candidate);
+
+    size_t hints = candidate.hints.size();
+    bool accepted = store_.propose(
+        std::move(candidate), candidateStats.accuracy(),
+        incumbentStats.accuracy(), cfg_.acceptMargin);
+    metrics_.bundleAcceptance.record(accepted);
+    double deployedMpkiAfter = accepted ? candidateStats.mpki()
+                                        : incumbentStats.mpki();
+    metrics_.deployedMpkiDelta.add(deployedMpkiAfter -
+                                   incumbentStats.mpki());
+    ++metrics_.epochsRun;
+    chunksSinceTrain_ = 0;
+
+    if (cfg_.verbose) {
+        whisper_inform(
+            "whisperd epoch ", metrics_.epochsRun, ": ", hints,
+            " hints in ", TableReporter::formatDouble(trainSecs, 2),
+            "s (", stats.formulasScored, " formulas, ",
+            pool_.workers(), " workers) — candidate acc ",
+            TableReporter::formatDouble(
+                100.0 * candidateStats.accuracy(), 4),
+            "% vs incumbent ",
+            TableReporter::formatDouble(
+                100.0 * incumbentStats.accuracy(), 4),
+            "% -> ",
+            accepted ? "ACCEPTED (deployed epoch "
+                     : "REJECTED (deployed epoch ",
+            store_.epoch(), ")");
+    }
+}
+
+} // namespace whisper

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * whisperd — the continuous profile-guided optimization service.
+ *
+ * The paper's deployment story (Fig. 10) is a one-shot pipeline:
+ * trace, profile, train, inject. A datacenter fleet instead drifts
+ * across inputs (Figs. 17/18), so whisperd turns the pipeline into a
+ * loop:
+ *
+ *   ingest threads ──bounded MPSC queue──▶ consumer loop
+ *        │                                    │ newest chunk held out
+ *        ▼                                    ▼ as validation window
+ *   .whrt chunk files            ShardedProfiler (N streaming shards)
+ *                                             │ Profile::merge
+ *                                             ▼
+ *                                TrainingPool (per-branch Algorithm 1)
+ *                                             │ candidate bundle
+ *                                             ▼
+ *                                validation: candidate vs incumbent
+ *                                on the held-out window
+ *                                             │ beat it?  no → reject
+ *                                             ▼ yes
+ *                                HintStore atomic epoch swap
+ *
+ * Consumers (the adaptive runner, or a real fleet's binary rewriter)
+ * pick up new generations wait-free from the HintStore.
+ */
+
+#ifndef WHISPER_SERVICE_WHISPERD_HH
+#define WHISPER_SERVICE_WHISPERD_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/formula_trainer.hh"
+#include "core/hint_injection.hh"
+#include "sim/runner.hh"
+#include "service/chunk_profiler.hh"
+#include "service/hint_store.hh"
+#include "service/service_metrics.hh"
+#include "service/trace_stream.hh"
+#include "service/training_pool.hh"
+
+namespace whisper
+{
+
+/** Service configuration. */
+struct WhisperdConfig
+{
+    size_t chunkRecords = 50'000;  //!< ingest chunk granularity
+    unsigned epochChunks = 4;      //!< training chunks per epoch
+    unsigned trainWorkers = 4;     //!< TrainingPool width
+    unsigned profileShards = 2;    //!< ShardedProfiler width
+    size_t queueCapacity = 8;      //!< ingest queue bound (chunks)
+    unsigned tageBudgetKB = 64;    //!< baseline predictor budget
+    /** Candidate must beat the incumbent by more than this accuracy
+     * margin on the validation window. */
+    double acceptMargin = 0.0;
+    /** Streaming hard-branch promotion knobs. */
+    ChunkProfiler::Options profilePolicy;
+    WhisperConfig whisper;
+    HintInjector::Config injector;
+    /** Log per-epoch decisions to stdout. */
+    bool verbose = true;
+};
+
+/** The service. One instance per monitored application. */
+class Whisperd
+{
+  public:
+    Whisperd(const WhisperdConfig &cfg, const TruthTableCache &cache);
+    ~Whisperd();
+
+    /**
+     * Drive the loop over a directory of .whrt chunk files: start an
+     * ingest thread, consume until the stream is exhausted, then run
+     * a final training epoch over any remaining data.
+     */
+    void run(const std::string &chunkDir);
+
+    /** Consume an externally produced chunk stream (the queue must
+     * be closed by its producers for run to return). */
+    void runFromQueue(BoundedQueue<TraceChunk> &queue);
+
+    HintStore &store() { return store_; }
+    const HintStore &store() const { return store_; }
+    const ServiceMetrics &metrics() const { return metrics_; }
+    uint64_t epochsRun() const { return metrics_.epochsRun; }
+
+  private:
+    /** Fold a chunk into the training shards. */
+    void absorb(TraceChunk chunk);
+    /** Train + validate + propose one epoch. */
+    void trainEpoch();
+    /** Validation accuracy/MPKI of @p bundle (nullptr = un-hinted
+     * baseline) on the held-out window. */
+    PredictorRunStats evalOnValidation(const HintBundle *bundle);
+
+    WhisperdConfig cfg_;
+    const TruthTableCache &cache_;
+    std::unique_ptr<ShardedProfiler> shards_;
+    TrainingPool pool_;
+    HintStore store_;
+    ServiceMetrics metrics_;
+
+    /** Newest chunk: the held-out validation window. It becomes
+     * training data only once a newer chunk displaces it. */
+    std::optional<TraceChunk> validationChunk_;
+    /** Most recent training chunk, kept for brhint placement. */
+    std::vector<BranchRecord> placementWindow_;
+    unsigned chunksSinceTrain_ = 0;
+    uint64_t chunksAbsorbed_ = 0;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_WHISPERD_HH

@@ -51,4 +51,57 @@ runPredictor(BranchSource &source, BranchPredictor &predictor,
     return stats;
 }
 
+AdaptiveRunStats
+runPredictorAdaptive(
+    BranchSource &source, BranchPredictor &initial,
+    uint64_t recordsPerEpoch,
+    const std::function<BranchPredictor *(uint64_t nextEpoch)>
+        &refresh)
+{
+    whisper_assert(recordsPerEpoch > 0);
+
+    AdaptiveRunStats out;
+    BranchPredictor *current = &initial;
+    PredictorRunStats epoch;
+    uint64_t inEpoch = 0;
+
+    auto closeEpoch = [&]() {
+        out.total.instructions += epoch.instructions;
+        out.total.conditionals += epoch.conditionals;
+        out.total.mispredicts += epoch.mispredicts;
+        out.perEpoch.push_back(epoch);
+        epoch = PredictorRunStats{};
+        inEpoch = 0;
+    };
+
+    source.rewind();
+    BranchRecord rec;
+    while (source.next(rec)) {
+        if (rec.isConditional()) {
+            bool pred = current->predict(rec.pc, rec.taken);
+            current->update(rec.pc, rec.taken, pred);
+            ++epoch.conditionals;
+            if (pred != rec.taken)
+                ++epoch.mispredicts;
+        }
+        current->onRecord(rec);
+        epoch.instructions += static_cast<uint64_t>(rec.instGap) + 1;
+
+        if (++inEpoch >= recordsPerEpoch) {
+            closeEpoch();
+            if (refresh) {
+                BranchPredictor *next =
+                    refresh(out.perEpoch.size());
+                if (next && next != current) {
+                    current = next;
+                    ++out.predictorSwaps;
+                }
+            }
+        }
+    }
+    if (inEpoch > 0)
+        closeEpoch();
+    return out;
+}
+
 } // namespace whisper

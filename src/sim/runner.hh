@@ -10,6 +10,8 @@
 #define WHISPER_SIM_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "bp/branch_predictor.hh"
 #include "trace/branch_source.hh"
@@ -54,6 +56,32 @@ PredictorRunStats runPredictor(BranchSource &source,
                                BranchPredictor &predictor,
                                double warmupFraction = 0.0,
                                uint64_t totalInstructionsHint = 0);
+
+/** Statistics of an epoch-adaptive run. */
+struct AdaptiveRunStats
+{
+    PredictorRunStats total;                //!< whole-stream stats
+    std::vector<PredictorRunStats> perEpoch; //!< one per epoch window
+    uint64_t predictorSwaps = 0;            //!< refresh() switches
+};
+
+/**
+ * Epoch-adaptive variant of runPredictor: the stream is cut into
+ * windows of @p recordsPerEpoch records, and after each window
+ * @p refresh is consulted for a replacement predictor — the hook a
+ * continuously retraining service (whisperd's hint store) plugs into
+ * so benches can measure online adaptation under input drift.
+ *
+ * @param refresh called with the index of the epoch about to start;
+ *        returns a predictor to switch to, or nullptr to keep the
+ *        current one. Returned predictors are NOT owned by the
+ *        runner and must outlive the run.
+ */
+AdaptiveRunStats runPredictorAdaptive(
+    BranchSource &source, BranchPredictor &initial,
+    uint64_t recordsPerEpoch,
+    const std::function<BranchPredictor *(uint64_t nextEpoch)>
+        &refresh);
 
 } // namespace whisper
 

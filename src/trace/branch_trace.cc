@@ -9,8 +9,8 @@ namespace whisper
 namespace
 {
 
-constexpr uint32_t kMagic = 0x57485254; // "WHRT"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMagic = BranchTrace::kFileMagic;
+constexpr uint32_t kVersion = BranchTrace::kFileVersion;
 
 } // namespace
 

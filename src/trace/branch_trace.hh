@@ -25,6 +25,13 @@ namespace whisper
 class BranchTrace
 {
   public:
+    /** .whrt on-disk format identity, shared with the streaming
+     * reader in src/service/trace_stream.*. The layout is: magic,
+     * version, name length + bytes, input id, record count, then the
+     * raw BranchRecord array. */
+    static constexpr uint32_t kFileMagic = 0x57485254; // "WHRT"
+    static constexpr uint32_t kFileVersion = 1;
+
     BranchTrace() = default;
     BranchTrace(std::string app, uint32_t inputId)
         : app_(std::move(app)), inputId_(inputId)

@@ -190,3 +190,72 @@ TEST(HintBundleIo, RejectsGarbage)
     EXPECT_FALSE(loadHintBundle(b, path));
     std::remove(path.c_str());
 }
+
+TEST(VersionedBundleIo, RoundTripPreservesEpochHeader)
+{
+    Rng rng(77);
+    VersionedHintBundle original;
+    original.epoch = 42;
+    original.validationAccuracy = 0.987654;
+    for (int i = 0; i < 50; ++i) {
+        TrainedHint h;
+        h.pc = 0x400000 + rng.nextBelow(1 << 18) * 16;
+        h.hint.historyIdx = static_cast<uint8_t>(rng.nextBelow(16));
+        h.hint.formula =
+            static_cast<uint16_t>(rng.nextBelow(1 << 15));
+        h.hint.bias = static_cast<HintBias>(rng.nextBelow(3));
+        h.hint.pcPointer = BrHint::pcPointerFor(h.pc);
+        h.historyLength = static_cast<unsigned>(rng.nextBelow(1025));
+        original.bundle.hints.push_back(h);
+
+        HintPlacement p;
+        p.branchPc = h.pc;
+        p.predecessorPc = h.pc - 16;
+        p.coverage = rng.nextDouble();
+        original.bundle.placements.push_back(p);
+    }
+
+    std::string path = "/tmp/whisper_test_versioned.bin";
+    ASSERT_TRUE(saveVersionedBundle(original, path));
+    VersionedHintBundle loaded;
+    ASSERT_TRUE(loadVersionedBundle(loaded, path));
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.epoch, original.epoch);
+    EXPECT_DOUBLE_EQ(loaded.validationAccuracy,
+                     original.validationAccuracy);
+    EXPECT_TRUE(loaded == original);
+}
+
+TEST(VersionedBundleIo, RejectsBadMagic)
+{
+    // A plain (un-versioned) hint bundle has a different magic; the
+    // versioned loader must refuse it rather than misparse.
+    HintBundle plain;
+    plain.hints.resize(1);
+    std::string path = "/tmp/whisper_test_versioned_badmagic.bin";
+    ASSERT_TRUE(saveHintBundle(plain, path));
+    VersionedHintBundle v;
+    EXPECT_FALSE(loadVersionedBundle(v, path));
+
+    // And vice versa: a versioned file is not a plain bundle.
+    VersionedHintBundle versioned;
+    versioned.epoch = 1;
+    ASSERT_TRUE(saveVersionedBundle(versioned, path));
+    HintBundle b;
+    EXPECT_FALSE(loadHintBundle(b, path));
+    std::remove(path.c_str());
+}
+
+TEST(VersionedBundleIo, RejectsTruncatedHeader)
+{
+    std::string path = "/tmp/whisper_test_versioned_trunc.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    uint32_t magic = 0x57484550; // kEpochMagic, but nothing after it
+    std::fwrite(&magic, sizeof magic, 1, f);
+    std::fclose(f);
+    VersionedHintBundle v;
+    EXPECT_FALSE(loadVersionedBundle(v, path));
+    std::remove(path.c_str());
+}

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the whisperd service subsystem: bounded queue, streaming
+ * trace ingest, merge-exact chunk profiling, the parallel training
+ * pool's determinism, and the versioned hint store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/bounded_queue.hh"
+#include "service/chunk_profiler.hh"
+#include "service/hint_store.hh"
+#include "service/trace_stream.hh"
+#include "service/training_pool.hh"
+#include "service/whisperd.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "trace/branch_trace.hh"
+#include "workloads/app_workload.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+std::vector<BranchRecord>
+kafkaRecords(uint32_t inputId, uint64_t count)
+{
+    AppWorkload workload(appByName("kafka"), inputId, count);
+    std::vector<BranchRecord> records;
+    records.reserve(count);
+    BranchRecord rec;
+    while (workload.next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+std::vector<BranchRecord>
+slice(const std::vector<BranchRecord> &records, size_t from, size_t to)
+{
+    return {records.begin() + from, records.begin() + to};
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// BoundedQueue
+// --------------------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.push(i));
+    int v = -1;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.tryPop(v));
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    q.close();
+    EXPECT_FALSE(q.push(3));
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, BlockingHandoffAcrossThreads)
+{
+    // Capacity 1 forces the producer to block on every push, so this
+    // exercises the full backpressure path.
+    BoundedQueue<int> q(1);
+    constexpr int kItems = 2000;
+    std::thread producer([&] {
+        for (int i = 0; i < kItems; ++i)
+            ASSERT_TRUE(q.push(i));
+        q.close();
+    });
+    long long sum = 0;
+    int count = 0, v = 0;
+    while (q.pop(v)) {
+        sum += v;
+        ++count;
+    }
+    producer.join();
+    EXPECT_EQ(count, kItems);
+    EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+// --------------------------------------------------------------------
+// TraceStreamReader / ChunkIngestor
+// --------------------------------------------------------------------
+
+TEST(TraceStream, ChunkedReadMatchesFullLoad)
+{
+    BranchTrace trace("kafka", 0);
+    for (const BranchRecord &rec : kafkaRecords(0, 30'000))
+        trace.append(rec);
+    std::string path = "/tmp/whisper_test_stream.whrt";
+    ASSERT_TRUE(trace.save(path));
+
+    TraceStreamReader reader(path);
+    ASSERT_TRUE(reader.valid());
+    EXPECT_EQ(reader.app(), "kafka");
+    EXPECT_EQ(reader.inputId(), 0u);
+    EXPECT_EQ(reader.recordsTotal(), trace.size());
+
+    std::vector<BranchRecord> streamed, chunk;
+    while (reader.readChunk(chunk, 7'001) > 0)
+        streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    std::remove(path.c_str());
+
+    ASSERT_EQ(streamed.size(), trace.size());
+    for (size_t i = 0; i < streamed.size(); ++i) {
+        ASSERT_EQ(streamed[i].pc, trace[i].pc);
+        ASSERT_EQ(streamed[i].taken, trace[i].taken);
+        ASSERT_EQ(streamed[i].kind, trace[i].kind);
+    }
+}
+
+TEST(TraceStream, RejectsBadMagic)
+{
+    std::string path = "/tmp/whisper_test_badmagic.whrt";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    uint32_t notMagic = 0xdeadbeef;
+    std::fwrite(&notMagic, sizeof notMagic, 1, f);
+    std::fclose(f);
+    TraceStreamReader reader(path);
+    EXPECT_FALSE(reader.valid());
+    std::remove(path.c_str());
+}
+
+TEST(TraceStream, IngestorDeliversEverythingInOrder)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = "/tmp/whisper_test_ingest_dir";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    // Two files; name order must drive delivery order.
+    std::vector<BranchRecord> all = kafkaRecords(0, 24'000);
+    BranchTrace t0("kafka", 0), t1("kafka", 1);
+    for (size_t i = 0; i < 12'000; ++i)
+        t0.append(all[i]);
+    for (size_t i = 12'000; i < all.size(); ++i)
+        t1.append(all[i]);
+    ASSERT_TRUE(t0.save((dir / "000_kafka.whrt").string()));
+    ASSERT_TRUE(t1.save((dir / "001_kafka.whrt").string()));
+
+    BoundedQueue<TraceChunk> queue(2);
+    std::atomic<uint64_t> sequence{0};
+    ChunkIngestor ingestor(
+        ChunkIngestor::listTraceFiles(dir.string()), 5'000, queue,
+        sequence);
+    ingestor.start();
+    std::thread closer([&] {
+        ingestor.join();
+        queue.close();
+    });
+
+    std::vector<BranchRecord> delivered;
+    uint64_t expectSeq = 0;
+    TraceChunk chunk;
+    while (queue.pop(chunk)) {
+        EXPECT_EQ(chunk.sequence, expectSeq++);
+        EXPECT_EQ(chunk.app, "kafka");
+        delivered.insert(delivered.end(), chunk.records.begin(),
+                         chunk.records.end());
+    }
+    closer.join();
+    fs::remove_all(dir);
+
+    EXPECT_EQ(ingestor.filesIngested(), 2u);
+    EXPECT_TRUE(ingestor.errors().empty());
+    ASSERT_EQ(delivered.size(), all.size());
+    for (size_t i = 0; i < delivered.size(); ++i)
+        ASSERT_EQ(delivered[i].pc, all[i].pc);
+}
+
+// --------------------------------------------------------------------
+// ChunkProfiler / Profile::merge
+// --------------------------------------------------------------------
+
+TEST(ChunkProfiler, MergedChunkProfilesEqualConcatenatedProfile)
+{
+    // The service's core invariant: profiling a stream chunk by chunk
+    // and merging must give exactly the profile of the whole stream.
+    std::vector<BranchRecord> records = kafkaRecords(0, 60'000);
+    WhisperConfig cfg;
+    ChunkProfiler::Options opt;
+    opt.maxHardBranches = 128;
+
+    ChunkProfiler chunked(cfg, makeTage(64), opt);
+    BranchProfile merged(cfg);
+    for (size_t at = 0; at < records.size(); at += 17'000) {
+        size_t end = std::min(records.size(), at + 17'000);
+        BranchProfile part =
+            chunked.profileChunk(slice(records, at, end));
+        merged = BranchProfile::merge(merged, part);
+    }
+
+    ChunkProfiler whole(cfg, makeTage(64), opt);
+    BranchProfile reference = whole.profileChunk(records);
+
+    EXPECT_TRUE(merged == reference);
+    EXPECT_EQ(merged.numBranches(), reference.numBranches());
+}
+
+TEST(ChunkProfiler, MergeEqualityHoldsUnderStatsWarmup)
+{
+    // The warm-up skip is a function of lifetime stream position, so
+    // chunking must still not change the profile.
+    std::vector<BranchRecord> records = kafkaRecords(0, 40'000);
+    WhisperConfig cfg;
+    ChunkProfiler::Options opt;
+    opt.maxHardBranches = 64;
+    opt.statsWarmupRecords = 12'500; // lands mid-chunk
+
+    ChunkProfiler chunked(cfg, makeTage(64), opt);
+    BranchProfile merged(cfg);
+    for (size_t at = 0; at < records.size(); at += 10'000) {
+        size_t end = std::min(records.size(), at + 10'000);
+        merged = BranchProfile::merge(
+            merged, chunked.profileChunk(slice(records, at, end)));
+    }
+
+    ChunkProfiler whole(cfg, makeTage(64), opt);
+    BranchProfile reference = whole.profileChunk(records);
+    EXPECT_TRUE(merged == reference);
+
+    // Warm-up records contribute to no statistic.
+    ChunkProfiler noWarmup(cfg, makeTage(64));
+    BranchProfile unskipped = noWarmup.profileChunk(records);
+    EXPECT_LT(reference.totalConditionals,
+              unskipped.totalConditionals);
+}
+
+TEST(ChunkProfiler, MergeIsAssociativeAndCommutative)
+{
+    std::vector<BranchRecord> records = kafkaRecords(0, 45'000);
+    WhisperConfig cfg;
+    ChunkProfiler::Options opt;
+    opt.maxHardBranches = 128;
+    ChunkProfiler profiler(cfg, makeTage(64), opt);
+
+    BranchProfile p1 = profiler.profileChunk(slice(records, 0, 15'000));
+    BranchProfile p2 =
+        profiler.profileChunk(slice(records, 15'000, 30'000));
+    BranchProfile p3 =
+        profiler.profileChunk(slice(records, 30'000, 45'000));
+
+    BranchProfile leftFirst =
+        BranchProfile::merge(BranchProfile::merge(p1, p2), p3);
+    BranchProfile rightFirst =
+        BranchProfile::merge(p1, BranchProfile::merge(p2, p3));
+    EXPECT_TRUE(leftFirst == rightFirst);
+
+    EXPECT_TRUE(BranchProfile::merge(p1, p2) ==
+                BranchProfile::merge(p2, p1));
+}
+
+TEST(ShardedProfiler, DeterministicAcrossRuns)
+{
+    std::vector<BranchRecord> records = kafkaRecords(0, 40'000);
+    WhisperConfig cfg;
+    ChunkProfiler::Options opt;
+    opt.maxHardBranches = 64;
+    BaselineFactory baseline = [] { return makeTage(64); };
+
+    auto runOnce = [&] {
+        ShardedProfiler shards(cfg, 2, baseline, opt);
+        for (size_t at = 0, seq = 0; at < records.size();
+             at += 10'000, ++seq) {
+            TraceChunk chunk;
+            chunk.sequence = seq;
+            chunk.records =
+                slice(records, at,
+                      std::min(records.size(), at + 10'000));
+            shards.submit(std::move(chunk));
+        }
+        shards.drain();
+        EXPECT_EQ(shards.recordsProfiled(), records.size());
+        return shards.aggregate();
+    };
+
+    BranchProfile a = runOnce();
+    BranchProfile b = runOnce();
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.numBranches(), 0u);
+}
+
+// --------------------------------------------------------------------
+// TrainingPool
+// --------------------------------------------------------------------
+
+TEST(TrainingPool, BitIdenticalAcrossWorkerCounts)
+{
+    ExperimentConfig ecfg;
+    ecfg.trainRecords = 80'000;
+    ecfg.profile.maxHardBranches = 64;
+    BranchProfile profile = profileApp(appByName("kafka"), 0, ecfg);
+    WhisperTrainer trainer(ecfg.whisper, globalTruthTables());
+
+    TrainingStats serialStats;
+    std::vector<TrainedHint> serial =
+        trainer.train(profile, &serialStats);
+
+    for (unsigned workers : {1u, 4u}) {
+        TrainingStats poolStats;
+        std::vector<TrainedHint> pooled = TrainingPool(workers).train(
+            trainer, profile, &poolStats);
+        ASSERT_EQ(pooled.size(), serial.size())
+            << "workers=" << workers;
+        for (size_t i = 0; i < serial.size(); ++i)
+            ASSERT_TRUE(pooled[i] == serial[i])
+                << "workers=" << workers << " hint " << i;
+        EXPECT_EQ(poolStats.branchesConsidered,
+                  serialStats.branchesConsidered);
+        EXPECT_EQ(poolStats.formulasScored,
+                  serialStats.formulasScored);
+    }
+}
+
+// --------------------------------------------------------------------
+// HintStore
+// --------------------------------------------------------------------
+
+TEST(HintStore, AcceptsImprovingRejectsRegressing)
+{
+    HintStore store;
+    EXPECT_EQ(store.current(), nullptr);
+    EXPECT_EQ(store.epoch(), 0u);
+
+    HintBundle first;
+    first.hints.resize(3);
+    EXPECT_TRUE(store.propose(first, 0.95, 0.93));
+    EXPECT_EQ(store.epoch(), 1u);
+    EXPECT_EQ(store.current()->validationAccuracy, 0.95);
+
+    // A regressing candidate must be rejected and leave the deployed
+    // generation untouched.
+    HintBundle worse;
+    worse.hints.resize(9);
+    EXPECT_FALSE(store.propose(worse, 0.94, 0.95));
+    EXPECT_EQ(store.epoch(), 1u);
+    EXPECT_EQ(store.current()->bundle.hints.size(), 3u);
+
+    // Ties are rejected too (strict improvement required)...
+    EXPECT_FALSE(store.propose(worse, 0.95, 0.95));
+    // ...and the margin raises the bar further.
+    EXPECT_FALSE(store.propose(worse, 0.9549, 0.95, 0.005));
+    EXPECT_TRUE(store.propose(worse, 0.9551, 0.95, 0.005));
+    EXPECT_EQ(store.epoch(), 2u);
+
+    EXPECT_EQ(store.accepted(), 2u);
+    EXPECT_EQ(store.rejected(), 3u);
+    EXPECT_EQ(store.generations(), 2u);
+}
+
+TEST(HintStore, RollbackRepublishesUnderFreshEpoch)
+{
+    HintStore store;
+    EXPECT_FALSE(store.rollback()); // nothing deployed yet
+
+    HintBundle gen1, gen2;
+    gen1.hints.resize(1);
+    gen2.hints.resize(2);
+    ASSERT_TRUE(store.propose(gen1, 0.90, 0.80));
+    ASSERT_TRUE(store.propose(gen2, 0.92, 0.90));
+    ASSERT_EQ(store.epoch(), 2u);
+
+    ASSERT_TRUE(store.rollback());
+    EXPECT_EQ(store.epoch(), 3u); // epochs never reuse numbers
+    EXPECT_EQ(store.current()->bundle.hints.size(), 1u);
+    EXPECT_EQ(store.rollbacks(), 1u);
+}
+
+TEST(HintStore, ReadersSurviveConcurrentSwaps)
+{
+    HintStore store;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            HintStore::Snapshot snap = store.current();
+            if (snap) {
+                // The pinned snapshot stays coherent even if the
+                // writer swaps generations underneath us.
+                ASSERT_EQ(snap->bundle.hints.size(),
+                          static_cast<size_t>(snap->epoch));
+                ++reads;
+            }
+        }
+    });
+    double accuracy = 0.5;
+    for (uint64_t gen = 1; gen <= 200; ++gen) {
+        HintBundle bundle;
+        bundle.hints.resize(gen);
+        double next = accuracy + 0.001;
+        ASSERT_TRUE(store.propose(std::move(bundle), next, accuracy));
+        accuracy = next;
+    }
+    stop = true;
+    reader.join();
+    EXPECT_EQ(store.epoch(), 200u);
+    EXPECT_EQ(store.accepted(), 200u);
+}
+
+// --------------------------------------------------------------------
+// Adaptive runner + consultant
+// --------------------------------------------------------------------
+
+TEST(AdaptiveRunner, EpochTotalsAddUpAndSwapsAreCounted)
+{
+    std::vector<BranchRecord> records = kafkaRecords(0, 30'000);
+    ChunkSource source(records);
+
+    HintStore store;
+    WhisperConfig cfg;
+    HintStoreConsultant consultant(store, cfg, globalTruthTables(),
+                                   [] { return makeTage(64); });
+
+    // Deploy an (empty) bundle before epoch 2 so exactly one swap
+    // happens mid-run: tage -> whisper-with-empty-bundle.
+    std::unique_ptr<BranchPredictor> tage = makeTage(64);
+    AdaptiveRunStats stats = runPredictorAdaptive(
+        source, *tage, 10'000, [&](uint64_t nextEpoch) {
+            if (nextEpoch == 2) {
+                HintBundle empty;
+                EXPECT_TRUE(store.propose(empty, 1.0, 0.0));
+            }
+            return consultant.refresh(nextEpoch);
+        });
+
+    EXPECT_EQ(stats.perEpoch.size(), 3u);
+    EXPECT_EQ(stats.predictorSwaps, 1u);
+    EXPECT_EQ(consultant.deployedEpoch(), 1u);
+
+    uint64_t conditionals = 0, mispredicts = 0;
+    for (const PredictorRunStats &epoch : stats.perEpoch) {
+        conditionals += epoch.conditionals;
+        mispredicts += epoch.mispredicts;
+    }
+    EXPECT_EQ(conditionals, stats.total.conditionals);
+    EXPECT_EQ(mispredicts, stats.total.mispredicts);
+}
+
+// --------------------------------------------------------------------
+// Whisperd end to end (in-process, synthetic queue)
+// --------------------------------------------------------------------
+
+TEST(Whisperd, TrainsDeploysAndReportsFromQueue)
+{
+    WhisperdConfig cfg;
+    cfg.chunkRecords = 15'000;
+    cfg.epochChunks = 2;
+    cfg.trainWorkers = 2;
+    cfg.profileShards = 2;
+    cfg.tageBudgetKB = 64;
+    cfg.profilePolicy.maxHardBranches = 64;
+    cfg.verbose = false;
+
+    Whisperd daemon(cfg, globalTruthTables());
+
+    BoundedQueue<TraceChunk> queue(4);
+    std::vector<BranchRecord> records = kafkaRecords(0, 90'000);
+    std::thread producer([&] {
+        uint64_t seq = 0;
+        for (size_t at = 0; at < records.size();
+             at += cfg.chunkRecords) {
+            TraceChunk chunk;
+            chunk.sequence = seq++;
+            chunk.app = "kafka";
+            chunk.records = slice(
+                records, at,
+                std::min(records.size(), at + cfg.chunkRecords));
+            queue.push(std::move(chunk));
+        }
+        queue.close();
+    });
+    daemon.runFromQueue(queue);
+    producer.join();
+
+    EXPECT_GE(daemon.epochsRun(), 2u);
+    EXPECT_GE(daemon.store().accepted() + daemon.store().rejected(),
+              2u);
+    // Something must have been deployable on a stable stream.
+    ASSERT_NE(daemon.store().current(), nullptr);
+    EXPECT_GT(daemon.store().current()->bundle.hints.size(), 0u);
+    EXPECT_EQ(daemon.metrics().chunksIngested, 6u);
+    EXPECT_EQ(daemon.metrics().recordsIngested, records.size());
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * whisperd — continuous profile-guided optimization service CLI.
+ *
+ * Streams every .whrt file of a chunk directory (sorted by name, so
+ * naming encodes the drift order) through the whisperd loop:
+ * bounded-chunk ingest, sharded streaming profiling, parallel
+ * formula training, validated hint-bundle deployment. Writes the
+ * final deployed generation as an epoch-stamped bundle and can
+ * evaluate it (and a static reference bundle) on a held-out trace.
+ *
+ * Usage:
+ *   whisperd --chunks DIR --out FILE [--chunk-records N]
+ *            [--epoch-chunks N] [--workers N] [--shards N]
+ *            [--tage-kb N] [--max-hard N] [--margin F]
+ *            [--eval-trace FILE] [--compare-hints FILE] [--quiet]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/whisper_io.hh"
+#include "service/whisperd.hh"
+#include "sim/experiment.hh"
+#include "trace/branch_trace.hh"
+#include "util/table.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: whisperd --chunks DIR --out FILE [options]\n"
+        "  --chunks DIR         directory of .whrt trace chunks\n"
+        "  --out FILE           final versioned bundle to write\n"
+        "  --chunk-records N    ingest chunk size (default 50000)\n"
+        "  --epoch-chunks N     training chunks per epoch "
+        "(default 4)\n"
+        "  --workers N          training pool width (default 4)\n"
+        "  --shards N           profile shards (default 2)\n"
+        "  --tage-kb N          baseline budget (default 64)\n"
+        "  --max-hard N         hard-branch cap per shard "
+        "(default 512)\n"
+        "  --fraction F         randomized-testing fraction\n"
+        "  --margin F           acceptance accuracy margin "
+        "(default 0)\n"
+        "  --eval-trace FILE    evaluate the deployed bundle on a "
+        "trace\n"
+        "  --compare-hints FILE also evaluate a static bundle on it\n"
+        "  --quiet              no per-epoch log\n");
+    std::exit(2);
+}
+
+double
+evalBundleAccuracy(const BranchTrace &trace, unsigned tageKb,
+                   const WhisperConfig &cfg, const HintBundle *bundle,
+                   double *mpki)
+{
+    std::unique_ptr<BranchPredictor> pred;
+    if (bundle) {
+        pred = std::make_unique<WhisperPredictor>(
+            makeTage(tageKb), cfg, globalTruthTables(),
+            bundle->hints, bundle->placements);
+    } else {
+        pred = makeTage(tageKb);
+    }
+    TraceSource src(trace);
+    PredictorRunStats stats = runPredictor(src, *pred, 0.5);
+    if (mpki)
+        *mpki = stats.mpki();
+    return stats.accuracy();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string chunkDir, outPath, evalPath, comparePath;
+    WhisperdConfig cfg;
+    double fraction = -1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--chunks")
+            chunkDir = next();
+        else if (arg == "--out")
+            outPath = next();
+        else if (arg == "--chunk-records")
+            cfg.chunkRecords =
+                static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+        else if (arg == "--epoch-chunks")
+            cfg.epochChunks = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--workers")
+            cfg.trainWorkers = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--shards")
+            cfg.profileShards =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--tage-kb")
+            cfg.tageBudgetKB = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--max-hard")
+            cfg.profilePolicy.maxHardBranches =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--fraction")
+            fraction = std::atof(next());
+        else if (arg == "--margin")
+            cfg.acceptMargin = std::atof(next());
+        else if (arg == "--eval-trace")
+            evalPath = next();
+        else if (arg == "--compare-hints")
+            comparePath = next();
+        else if (arg == "--quiet")
+            cfg.verbose = false;
+        else
+            usage();
+    }
+    if (chunkDir.empty() || outPath.empty() || cfg.chunkRecords == 0)
+        usage();
+    if (fraction > 0)
+        cfg.whisper.formulaFraction = fraction;
+    if (ChunkIngestor::listTraceFiles(chunkDir).empty()) {
+        std::fprintf(stderr, "error: no .whrt files in %s\n",
+                     chunkDir.c_str());
+        return 1;
+    }
+
+    std::printf("whisperd: streaming %s (chunk=%zu records, "
+                "epoch=%u chunks, %u train workers, %u shards)\n",
+                chunkDir.c_str(), cfg.chunkRecords, cfg.epochChunks,
+                cfg.trainWorkers, cfg.profileShards);
+
+    Whisperd daemon(cfg, globalTruthTables());
+    daemon.run(chunkDir);
+
+    const HintStore &store = daemon.store();
+    std::printf("whisperd: epochs=%llu accepted=%llu rejected=%llu "
+                "deployed-epoch=%llu\n",
+                static_cast<unsigned long long>(daemon.epochsRun()),
+                static_cast<unsigned long long>(store.accepted()),
+                static_cast<unsigned long long>(store.rejected()),
+                static_cast<unsigned long long>(store.epoch()));
+    daemon.metrics().report(std::cout);
+
+    HintStore::Snapshot deployed = store.current();
+    if (!deployed) {
+        std::fprintf(stderr,
+                     "whisperd: no bundle was ever deployed\n");
+        return 1;
+    }
+    if (!saveVersionedBundle(*deployed, outPath)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::printf("whisperd: deployed bundle (epoch %llu, %zu hints) "
+                "-> %s\n",
+                static_cast<unsigned long long>(deployed->epoch),
+                deployed->bundle.hints.size(), outPath.c_str());
+
+    if (evalPath.empty())
+        return 0;
+
+    BranchTrace evalTrace;
+    if (!evalTrace.load(evalPath)) {
+        std::fprintf(stderr, "error: cannot load %s\n",
+                     evalPath.c_str());
+        return 1;
+    }
+
+    double baseMpki = 0.0, onlineMpki = 0.0;
+    double baseAcc = evalBundleAccuracy(evalTrace, cfg.tageBudgetKB,
+                                        cfg.whisper, nullptr,
+                                        &baseMpki);
+    double onlineAcc = evalBundleAccuracy(
+        evalTrace, cfg.tageBudgetKB, cfg.whisper, &deployed->bundle,
+        &onlineMpki);
+    std::printf("eval %s: tage accuracy=%.4f%% mpki=%.3f\n",
+                evalPath.c_str(), 100.0 * baseAcc, baseMpki);
+    std::printf("eval %s: online-whisper accuracy=%.4f%% mpki=%.3f\n",
+                evalPath.c_str(), 100.0 * onlineAcc, onlineMpki);
+
+    if (!comparePath.empty()) {
+        HintBundle staticBundle;
+        if (!loadHintBundle(staticBundle, comparePath)) {
+            std::fprintf(stderr, "error: cannot load %s\n",
+                         comparePath.c_str());
+            return 1;
+        }
+        double staticMpki = 0.0;
+        double staticAcc = evalBundleAccuracy(
+            evalTrace, cfg.tageBudgetKB, cfg.whisper, &staticBundle,
+            &staticMpki);
+        std::printf(
+            "eval %s: static-whisper accuracy=%.4f%% mpki=%.3f\n",
+            evalPath.c_str(), 100.0 * staticAcc, staticMpki);
+        std::printf("online-vs-static: %+.4fpp (%s)\n",
+                    100.0 * (onlineAcc - staticAcc),
+                    onlineAcc >= staticAcc ? "online wins or ties"
+                                           : "online loses");
+    }
+    return 0;
+}
