@@ -1,6 +1,7 @@
 #include "core/whisper_io.hh"
 
 #include <cstdio>
+#include <cstring>
 #include <type_traits>
 
 namespace whisper
@@ -13,6 +14,11 @@ constexpr uint32_t kProfileMagic = 0x57485052; // "WHPR"
 constexpr uint32_t kHintMagic = 0x57484E54;    // "WHNT"
 constexpr uint32_t kEpochMagic = 0x57484550;   // "WHEP"
 constexpr uint32_t kVersion = 1;
+
+/** Hard caps on untrusted length fields (counts, not bytes). */
+constexpr uint64_t kMaxHints = 1ULL << 24;
+constexpr uint64_t kMaxBranches = 1ULL << 32;
+constexpr uint64_t kMaxTableEntries = 1ULL << 20;
 
 /** Minimal checked binary writer/reader over stdio. */
 class BinFile
@@ -30,6 +36,7 @@ class BinFile
     BinFile(const BinFile &) = delete;
     BinFile &operator=(const BinFile &) = delete;
 
+    bool opened() const { return f_ != nullptr; }
     bool valid() const { return f_ != nullptr && ok_; }
 
     template <typename T>
@@ -82,6 +89,84 @@ class BinFile
     bool ok_ = true;
 };
 
+/** BinFile-compatible writer appending to a byte vector. */
+class MemWriter
+{
+  public:
+    bool valid() const { return true; }
+
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p = reinterpret_cast<const unsigned char *>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    void
+    putVec32(const std::vector<uint32_t> &v)
+    {
+        put(static_cast<uint64_t>(v.size()));
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(v.data());
+        buf_.insert(buf_.end(), p, p + v.size() * sizeof(uint32_t));
+    }
+
+    std::vector<unsigned char> take() { return std::move(buf_); }
+
+  private:
+    std::vector<unsigned char> buf_;
+};
+
+/** BinFile-compatible bounds-checked reader over a byte buffer. */
+class MemReader
+{
+  public:
+    MemReader(const unsigned char *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool valid() const { return ok_; }
+    bool exhausted() const { return pos_ == size_; }
+
+    template <typename T>
+    void
+    get(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (!ok_ || size_ - pos_ < sizeof(T)) {
+            ok_ = false;
+            return;
+        }
+        std::memcpy(&v, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+    }
+
+    bool
+    getVec32(std::vector<uint32_t> &v, uint64_t maxSize)
+    {
+        uint64_t n = 0;
+        get(n);
+        if (!ok_ || n > maxSize ||
+            size_ - pos_ < n * sizeof(uint32_t)) {
+            ok_ = false;
+            return false;
+        }
+        v.resize(n);
+        std::memcpy(v.data(), data_ + pos_, n * sizeof(uint32_t));
+        pos_ += n * sizeof(uint32_t);
+        return true;
+    }
+
+  private:
+    const unsigned char *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
 void
 putSampleTable(BinFile &f, const HashedSampleTable &t)
 {
@@ -92,13 +177,14 @@ putSampleTable(BinFile &f, const HashedSampleTable &t)
 bool
 getSampleTable(BinFile &f, HashedSampleTable &t)
 {
-    return f.getVec32(t.taken, 1 << 20) &&
-           f.getVec32(t.notTaken, 1 << 20) &&
+    return f.getVec32(t.taken, kMaxTableEntries) &&
+           f.getVec32(t.notTaken, kMaxTableEntries) &&
            t.taken.size() == t.notTaken.size();
 }
 
+template <typename Writer>
 void
-putBundleBody(BinFile &f, const HintBundle &bundle)
+putBundleBody(Writer &f, const HintBundle &bundle)
 {
     f.put(static_cast<uint64_t>(bundle.hints.size()));
     for (const auto &h : bundle.hints) {
@@ -119,12 +205,13 @@ putBundleBody(BinFile &f, const HintBundle &bundle)
     }
 }
 
+template <typename Reader>
 bool
-getBundleBody(BinFile &f, HintBundle &bundle)
+getBundleBody(Reader &f, HintBundle &bundle)
 {
     uint64_t n = 0;
     f.get(n);
-    if (!f.valid() || n > (1ULL << 24))
+    if (!f.valid() || n > kMaxHints)
         return false;
     bundle.hints.resize(n);
     for (auto &h : bundle.hints) {
@@ -140,7 +227,7 @@ getBundleBody(BinFile &f, HintBundle &bundle)
         f.get(h.executions);
     }
     f.get(n);
-    if (!f.valid() || n > (1ULL << 24))
+    if (!f.valid() || n > kMaxHints)
         return false;
     bundle.placements.resize(n);
     for (auto &p : bundle.placements) {
@@ -190,18 +277,22 @@ saveProfile(const BranchProfile &profile, const std::string &path)
     return f.valid();
 }
 
-bool
+IoStatus
 loadProfile(BranchProfile &profile, const std::string &path)
 {
     BinFile f(path, "rb");
-    if (!f.valid())
-        return false;
+    if (!f.opened())
+        return IoStatus::missingFile(path);
 
     uint32_t magic = 0, version = 0;
     f.get(magic);
     f.get(version);
-    if (!f.valid() || magic != kProfileMagic || version != kVersion)
-        return false;
+    if (!f.valid() || magic != kProfileMagic)
+        return IoStatus::corruptFile(path,
+                                     "bad magic (not a profile)");
+    if (version != kVersion)
+        return IoStatus::corruptFile(path,
+                                     "unsupported profile version");
 
     WhisperConfig cfg;
     f.get(cfg.minHistoryLength);
@@ -211,7 +302,8 @@ loadProfile(BranchProfile &profile, const std::string &path)
     if (!f.valid() || cfg.numHistoryLengths < 2 ||
         cfg.numHistoryLengths > 16 ||
         cfg.minHistoryLength >= cfg.maxHistoryLength) {
-        return false;
+        return IoStatus::corruptFile(path,
+                                     "implausible profile config");
     }
 
     BranchProfile loaded(cfg);
@@ -221,14 +313,15 @@ loadProfile(BranchProfile &profile, const std::string &path)
 
     uint64_t numBranches = 0;
     f.get(numBranches);
-    if (!f.valid() || numBranches > (1ULL << 32))
-        return false;
+    if (!f.valid() || numBranches > kMaxBranches)
+        return IoStatus::corruptFile(path,
+                                     "branch count out of bounds");
 
     for (uint64_t i = 0; i < numBranches; ++i) {
         uint64_t pc = 0;
         f.get(pc);
         if (!f.valid())
-            return false;
+            return IoStatus::corruptFile(path, "truncated entry");
         BranchProfileEntry &e = loaded.entry(pc);
         f.get(e.executions);
         f.get(e.takenCount);
@@ -236,23 +329,26 @@ loadProfile(BranchProfile &profile, const std::string &path)
         uint8_t hard = 0;
         f.get(hard);
         if (!f.valid())
-            return false;
+            return IoStatus::corruptFile(path, "truncated entry");
         if (hard) {
             loaded.markHard(pc);
             for (auto &table : e.byLength) {
-                if (!getSampleTable(f, table))
-                    return false;
+                if (!getSampleTable(f, table)) {
+                    return IoStatus::corruptFile(
+                        path, "damaged sample table");
+                }
             }
             if (!getSampleTable(f, e.raw4) ||
                 !getSampleTable(f, e.raw8)) {
-                return false;
+                return IoStatus::corruptFile(path,
+                                             "damaged sample table");
             }
         }
     }
     if (!f.valid())
-        return false;
+        return IoStatus::corruptFile(path, "truncated profile");
     profile = std::move(loaded);
-    return true;
+    return IoStatus::okStatus();
 }
 
 bool
@@ -267,23 +363,28 @@ saveHintBundle(const HintBundle &bundle, const std::string &path)
     return f.valid();
 }
 
-bool
+IoStatus
 loadHintBundle(HintBundle &bundle, const std::string &path)
 {
     BinFile f(path, "rb");
-    if (!f.valid())
-        return false;
+    if (!f.opened())
+        return IoStatus::missingFile(path);
     uint32_t magic = 0, version = 0;
     f.get(magic);
     f.get(version);
-    if (!f.valid() || magic != kHintMagic || version != kVersion)
-        return false;
+    if (!f.valid() || magic != kHintMagic)
+        return IoStatus::corruptFile(
+            path, "bad magic (not a hint bundle)");
+    if (version != kVersion)
+        return IoStatus::corruptFile(path,
+                                     "unsupported bundle version");
 
     HintBundle loaded;
     if (!getBundleBody(f, loaded))
-        return false;
+        return IoStatus::corruptFile(path,
+                                     "truncated or damaged bundle");
     bundle = std::move(loaded);
-    return true;
+    return IoStatus::okStatus();
 }
 
 bool
@@ -301,25 +402,58 @@ saveVersionedBundle(const VersionedHintBundle &bundle,
     return f.valid();
 }
 
-bool
+IoStatus
 loadVersionedBundle(VersionedHintBundle &bundle,
                     const std::string &path)
 {
     BinFile f(path, "rb");
-    if (!f.valid())
-        return false;
+    if (!f.opened())
+        return IoStatus::missingFile(path);
     uint32_t magic = 0, version = 0;
     f.get(magic);
     f.get(version);
-    if (!f.valid() || magic != kEpochMagic || version != kVersion)
-        return false;
+    if (!f.valid() || magic != kEpochMagic)
+        return IoStatus::corruptFile(
+            path, "bad magic (not a versioned bundle)");
+    if (version != kVersion)
+        return IoStatus::corruptFile(path,
+                                     "unsupported bundle version");
 
     VersionedHintBundle loaded;
     f.get(loaded.epoch);
     f.get(loaded.validationAccuracy);
     if (!f.valid())
-        return false;
+        return IoStatus::corruptFile(path, "truncated epoch header");
     if (!getBundleBody(f, loaded.bundle))
+        return IoStatus::corruptFile(path,
+                                     "truncated or damaged bundle");
+    bundle = std::move(loaded);
+    return IoStatus::okStatus();
+}
+
+std::vector<unsigned char>
+encodeVersionedBundle(const VersionedHintBundle &bundle)
+{
+    MemWriter w;
+    w.put(bundle.epoch);
+    w.put(bundle.validationAccuracy);
+    putBundleBody(w, bundle.bundle);
+    return w.take();
+}
+
+bool
+decodeVersionedBundle(VersionedHintBundle &bundle,
+                      const unsigned char *data, size_t size)
+{
+    MemReader r(data, size);
+    VersionedHintBundle loaded;
+    r.get(loaded.epoch);
+    r.get(loaded.validationAccuracy);
+    if (!r.valid())
+        return false;
+    if (!getBundleBody(r, loaded.bundle))
+        return false;
+    if (!r.exhausted()) // trailing garbage = damaged record
         return false;
     bundle = std::move(loaded);
     return true;

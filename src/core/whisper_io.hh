@@ -7,17 +7,28 @@
  * the trained hint bundle (step 3, the inputs to binary rewriting).
  * Both get simple versioned binary formats so the CLI tools in
  * tools/ can split the flow across invocations.
+ *
+ * Load paths return IoStatus instead of bool so callers can tell a
+ * missing file (regenerate it) from a corrupt one (raise an
+ * incident); every size field is bounds-checked so a damaged or
+ * hostile length can never drive an unbounded allocation.
+ *
+ * Versioned bundles can additionally be encoded to / decoded from a
+ * memory buffer — the payload format of the hint-store journal,
+ * which wraps each encoded bundle in its own CRC-framed record.
  */
 
 #ifndef WHISPER_CORE_WHISPER_IO_HH
 #define WHISPER_CORE_WHISPER_IO_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/hint_injection.hh"
 #include "core/profile.hh"
 #include "core/whisper_trainer.hh"
+#include "util/io_status.hh"
 
 namespace whisper
 {
@@ -46,22 +57,31 @@ struct VersionedHintBundle
     bool operator==(const VersionedHintBundle &o) const = default;
 };
 
-/** Save/load a profile. @return false on I/O or format error. */
+/** Save/load a profile. Loads report missing-vs-corrupt. */
 bool saveProfile(const BranchProfile &profile,
                  const std::string &path);
-bool loadProfile(BranchProfile &profile, const std::string &path);
+IoStatus loadProfile(BranchProfile &profile, const std::string &path);
 
-/** Save/load a hint bundle. @return false on I/O or format error. */
+/** Save/load a hint bundle. */
 bool saveHintBundle(const HintBundle &bundle,
                     const std::string &path);
-bool loadHintBundle(HintBundle &bundle, const std::string &path);
+IoStatus loadHintBundle(HintBundle &bundle, const std::string &path);
 
 /** Save/load an epoch-stamped bundle (own magic; bad magic or a
  * truncated epoch header is rejected). */
 bool saveVersionedBundle(const VersionedHintBundle &bundle,
                          const std::string &path);
-bool loadVersionedBundle(VersionedHintBundle &bundle,
-                         const std::string &path);
+IoStatus loadVersionedBundle(VersionedHintBundle &bundle,
+                             const std::string &path);
+
+/** Serialize a versioned bundle to bytes (journal record payload). */
+std::vector<unsigned char>
+encodeVersionedBundle(const VersionedHintBundle &bundle);
+
+/** Parse bytes produced by encodeVersionedBundle. @return false on
+ * any truncation or bounds violation. */
+bool decodeVersionedBundle(VersionedHintBundle &bundle,
+                           const unsigned char *data, size_t size);
 
 } // namespace whisper
 

@@ -1,0 +1,274 @@
+#include "service/fault_injection.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace whisper
+{
+
+namespace
+{
+
+/** SplitMix64: cheap, seedable, stateless-per-call mixing. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Split "a:b" (both optional) around the first ':'. */
+void
+splitPair(const std::string &value, std::string &a, std::string &b)
+{
+    size_t colon = value.find(':');
+    if (colon == std::string::npos) {
+        a = value;
+        b.clear();
+    } else {
+        a = value.substr(0, colon);
+        b = value.substr(colon + 1);
+    }
+}
+
+bool
+parseU64(const std::string &s, uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 0);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::reset()
+{
+    enabled_ = false;
+    flipChunks_ = false;
+    flipPeriod_ = 100;
+    flipSeed_ = 0x77486973ULL;
+    framesSeen_ = 0;
+    failReads_ = 0;
+    readsAttempted_ = 0;
+    tornAppend_ = 0;
+    stallEnabled_ = false;
+    stallWorker_ = 0;
+    stallMs_ = 400;
+    stallDone_ = false;
+    killEnabled_ = false;
+    killWorker_ = 1;
+    killDone_ = false;
+    failTrainEnabled_ = false;
+    failTrainIndex_ = 0;
+    failTrainAttempts_ = 1'000'000;
+    framesCorrupted_ = 0;
+    readsFailed_ = 0;
+    writesTorn_ = 0;
+    workerStalls_ = 0;
+    workerKills_ = 0;
+    trainFailures_ = 0;
+}
+
+bool
+FaultInjector::configure(const std::string &spec, std::string *error)
+{
+    reset();
+    if (spec.empty())
+        return true;
+
+    auto fail = [&](const std::string &msg) {
+        reset();
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    size_t at = 0;
+    while (at <= spec.size()) {
+        size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(at, comma - at);
+        at = comma + 1;
+        if (token.empty())
+            continue;
+
+        std::string key = token, value;
+        size_t eq = token.find('=');
+        if (eq != std::string::npos) {
+            key = token.substr(0, eq);
+            value = token.substr(eq + 1);
+        }
+
+        if (key == "flip-chunks") {
+            flipChunks_ = true;
+            if (!value.empty()) {
+                // Accept either a period ("100") or a rate ("0.01").
+                double rate = std::atof(value.c_str());
+                if (rate <= 0.0)
+                    return fail("flip-chunks: bad value '" + value +
+                                "'");
+                flipPeriod_ =
+                    rate < 1.0
+                        ? static_cast<uint64_t>(std::lround(1.0 / rate))
+                        : static_cast<uint64_t>(std::lround(rate));
+                if (flipPeriod_ == 0)
+                    flipPeriod_ = 1;
+            }
+        } else if (key == "fail-read") {
+            failReads_ = 2;
+            if (!value.empty() && !parseU64(value, failReads_))
+                return fail("fail-read: bad value '" + value + "'");
+        } else if (key == "truncate-journal") {
+            tornAppend_ = 2;
+            if (!value.empty() && !parseU64(value, tornAppend_))
+                return fail("truncate-journal: bad value '" + value +
+                            "'");
+            if (tornAppend_ == 0)
+                return fail("truncate-journal: value is 1-based");
+        } else if (key == "stall-worker") {
+            stallEnabled_ = true;
+            if (!value.empty()) {
+                std::string id, ms;
+                splitPair(value, id, ms);
+                uint64_t v = 0;
+                if (!id.empty()) {
+                    if (!parseU64(id, v))
+                        return fail("stall-worker: bad id '" + id +
+                                    "'");
+                    stallWorker_ = static_cast<unsigned>(v);
+                }
+                if (!ms.empty()) {
+                    if (!parseU64(ms, stallMs_))
+                        return fail("stall-worker: bad ms '" + ms +
+                                    "'");
+                }
+            }
+        } else if (key == "kill-worker") {
+            killEnabled_ = true;
+            if (!value.empty()) {
+                uint64_t v = 0;
+                if (!parseU64(value, v))
+                    return fail("kill-worker: bad id '" + value +
+                                "'");
+                killWorker_ = static_cast<unsigned>(v);
+            }
+        } else if (key == "fail-train") {
+            failTrainEnabled_ = true;
+            if (!value.empty()) {
+                std::string idx, n;
+                splitPair(value, idx, n);
+                uint64_t v = 0;
+                if (!idx.empty()) {
+                    if (!parseU64(idx, v))
+                        return fail("fail-train: bad index '" + idx +
+                                    "'");
+                    failTrainIndex_ = static_cast<size_t>(v);
+                }
+                if (!n.empty()) {
+                    if (!parseU64(n, v))
+                        return fail("fail-train: bad count '" + n +
+                                    "'");
+                    failTrainAttempts_ = static_cast<unsigned>(v);
+                }
+            }
+        } else if (key == "seed") {
+            if (!parseU64(value, flipSeed_))
+                return fail("seed: bad value '" + value + "'");
+        } else {
+            return fail("unknown fault token '" + key + "'");
+        }
+    }
+    enabled_ = true;
+    return true;
+}
+
+bool
+FaultInjector::corruptFrame(void *data, size_t bytes)
+{
+    if (!enabled_ || !flipChunks_ || bytes == 0)
+        return false;
+    uint64_t frame = framesSeen_.fetch_add(1);
+    // Periodic and phase-0, so even a short stream sees at least one
+    // corrupted frame — a probabilistic 1% would usually see none.
+    if (frame % flipPeriod_ != 0)
+        return false;
+    auto *p = static_cast<unsigned char *>(data);
+    uint64_t r = mix64(flipSeed_ ^ frame);
+    p[r % bytes] ^= static_cast<unsigned char>(1u << ((r >> 32) & 7));
+    framesCorrupted_.fetch_add(1);
+    return true;
+}
+
+bool
+FaultInjector::failRead()
+{
+    if (!enabled_ || failReads_ == 0)
+        return false;
+    if (readsAttempted_.fetch_add(1) >= failReads_)
+        return false;
+    readsFailed_.fetch_add(1);
+    return true;
+}
+
+FaultInjector::WritePlan
+FaultInjector::journalWritePlan(uint64_t appendIndex)
+{
+    if (!enabled_ || tornAppend_ == 0 ||
+        appendIndex + 1 != tornAppend_) {
+        return WritePlan::Full;
+    }
+    writesTorn_.fetch_add(1);
+    return WritePlan::Torn;
+}
+
+void
+FaultInjector::maybeStallWorker(unsigned worker)
+{
+    if (!enabled_ || !stallEnabled_ || worker != stallWorker_)
+        return;
+    if (stallDone_.exchange(true))
+        return;
+    workerStalls_.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(stallMs_));
+}
+
+bool
+FaultInjector::shouldKillWorker(unsigned worker)
+{
+    if (!enabled_ || !killEnabled_ || worker != killWorker_)
+        return false;
+    if (killDone_.exchange(true))
+        return false;
+    workerKills_.fetch_add(1);
+    return true;
+}
+
+bool
+FaultInjector::failTraining(size_t taskIndex, unsigned attempt)
+{
+    if (!enabled_ || !failTrainEnabled_ ||
+        taskIndex != failTrainIndex_ ||
+        attempt > failTrainAttempts_) {
+        return false;
+    }
+    trainFailures_.fetch_add(1);
+    return true;
+}
+
+} // namespace whisper

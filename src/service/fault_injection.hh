@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic fault injection for whisperd's recovery paths.
+ *
+ * Every fault-tolerance mechanism in the service — CRC-framed chunk
+ * skipping, read retry/backoff, journal torn-write repair, training
+ * supervision with requeue and degradation — is exercised by tests
+ * and the demo script through this harness rather than hoped for.
+ * A fault spec is a comma-separated token list installed process-wide
+ * (e.g. via `whisperd --fault-spec`):
+ *
+ *   flip-chunks[=P]       corrupt every P-th trace frame read by the
+ *                         streaming reader, starting with the first
+ *                         (P<1 is treated as a rate: P=1/rate).
+ *                         Default P=100 (~1% of frames).
+ *   fail-read[=N]         the first N frame reads fail transiently
+ *                         (exercises bounded retry/backoff). Default 2.
+ *   truncate-journal[=N]  the N-th journal append (1-based) is torn:
+ *                         only half the record reaches the file.
+ *                         Default 2.
+ *   stall-worker[=ID:MS]  training worker ID stalls MS milliseconds
+ *                         on its first claimed task. Default 0:400.
+ *   kill-worker[=ID]      training worker ID dies right after
+ *                         claiming its first task. Default 1.
+ *   fail-train[=IDX:N]    training of work item IDX throws on its
+ *                         first N attempts (N large = always, which
+ *                         degrades the branch). Default 0:1000000.
+ *   seed=N                RNG seed for bit-flip positions.
+ *
+ * All decisions are deterministic functions of the spec plus
+ * event counters, so a failing run replays exactly.
+ */
+
+#ifndef WHISPER_SERVICE_FAULT_INJECTION_HH
+#define WHISPER_SERVICE_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace whisper
+{
+
+/** Process-wide deterministic fault injector. Disabled (all hooks
+ * no-ops) until configure() installs a non-empty spec. */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Install @p spec ("" disables). @return false and fill
+     * @p error on an unknown token or malformed value. */
+    bool configure(const std::string &spec,
+                   std::string *error = nullptr);
+    /** Remove all faults and zero the counters. */
+    void reset();
+
+    bool enabled() const { return enabled_; }
+
+    // ---- hooks (called from production code paths) ----
+
+    /** Trace-frame payload just read from disk; may flip bits in
+     * place. @return true when the frame was corrupted. */
+    bool corruptFrame(void *data, size_t bytes);
+
+    /** @return true to simulate a transient read error (the caller
+     * should back off and retry). */
+    bool failRead();
+
+    /** What should happen to journal append number @p appendIndex
+     * (0-based): Full = write everything, Torn = stop half-way. */
+    enum class WritePlan
+    {
+        Full,
+        Torn
+    };
+    WritePlan journalWritePlan(uint64_t appendIndex);
+
+    /** Stall hook for training worker @p worker (sleeps inline). */
+    void maybeStallWorker(unsigned worker);
+
+    /** @return true when training worker @p worker should die now. */
+    bool shouldKillWorker(unsigned worker);
+
+    /** @return true when the @p attempt-th (1-based) attempt at work
+     * item @p taskIndex should fail. */
+    bool failTraining(size_t taskIndex, unsigned attempt);
+
+    // ---- observability ----
+    uint64_t framesCorrupted() const { return framesCorrupted_; }
+    uint64_t readsFailed() const { return readsFailed_; }
+    uint64_t writesTorn() const { return writesTorn_; }
+    uint64_t workerStalls() const { return workerStalls_; }
+    uint64_t workerKills() const { return workerKills_; }
+    uint64_t trainFailures() const { return trainFailures_; }
+
+  private:
+    FaultInjector() = default;
+
+    bool enabled_ = false;
+
+    // flip-chunks
+    bool flipChunks_ = false;
+    uint64_t flipPeriod_ = 100;
+    uint64_t flipSeed_ = 0x77486973ULL; // "wHis"
+    std::atomic<uint64_t> framesSeen_{0};
+
+    // fail-read
+    uint64_t failReads_ = 0;
+    std::atomic<uint64_t> readsAttempted_{0};
+
+    // truncate-journal
+    uint64_t tornAppend_ = 0; //!< 1-based; 0 = disabled
+
+    // stall-worker
+    bool stallEnabled_ = false;
+    unsigned stallWorker_ = 0;
+    uint64_t stallMs_ = 400;
+    std::atomic<bool> stallDone_{false};
+
+    // kill-worker
+    bool killEnabled_ = false;
+    unsigned killWorker_ = 1;
+    std::atomic<bool> killDone_{false};
+
+    // fail-train
+    bool failTrainEnabled_ = false;
+    size_t failTrainIndex_ = 0;
+    unsigned failTrainAttempts_ = 1'000'000;
+
+    std::atomic<uint64_t> framesCorrupted_{0};
+    std::atomic<uint64_t> readsFailed_{0};
+    std::atomic<uint64_t> writesTorn_{0};
+    std::atomic<uint64_t> workerStalls_{0};
+    std::atomic<uint64_t> workerKills_{0};
+    std::atomic<uint64_t> trainFailures_{0};
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_FAULT_INJECTION_HH

@@ -1,0 +1,281 @@
+#include "service/hint_journal.hh"
+
+#include <cstring>
+
+#include <unistd.h>
+
+#include "service/fault_injection.hh"
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+/** Parse the valid record prefix of an open journal stream.
+ * @return bytes consumed by valid records (header excluded records
+ * start after the 8-byte file header). */
+struct ReplayResult
+{
+    std::vector<VersionedHintBundle> bundles;
+    long validEnd = 0;     //!< offset just past the last valid record
+    bool sawGarbage = false;
+};
+
+ReplayResult
+replayStream(std::FILE *f)
+{
+    ReplayResult result;
+    result.validEnd = std::ftell(f);
+
+    std::vector<unsigned char> payload;
+    for (;;) {
+        uint32_t magic = 0, len = 0, crc = 0;
+        if (std::fread(&magic, 1, sizeof(magic), f) != sizeof(magic))
+            break; // clean EOF or torn header
+        if (magic != HintJournal::kRecordMagic) {
+            result.sawGarbage = true;
+            break;
+        }
+        if (std::fread(&len, 1, sizeof(len), f) != sizeof(len) ||
+            std::fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) {
+            result.sawGarbage = true;
+            break;
+        }
+        if (len == 0 || len > HintJournal::kMaxPayload) {
+            result.sawGarbage = true;
+            break;
+        }
+        payload.resize(len);
+        if (std::fread(payload.data(), 1, len, f) != len) {
+            result.sawGarbage = true; // torn mid-payload
+            break;
+        }
+        if (crc32(payload.data(), len) != crc) {
+            result.sawGarbage = true; // bit rot / torn overwrite
+            break;
+        }
+        VersionedHintBundle bundle;
+        if (!decodeVersionedBundle(bundle, payload.data(), len)) {
+            result.sawGarbage = true;
+            break;
+        }
+        result.bundles.push_back(std::move(bundle));
+        result.validEnd = std::ftell(f);
+    }
+    return result;
+}
+
+bool
+writeHeader(std::FILE *f)
+{
+    uint32_t magic = HintJournal::kFileMagic;
+    uint32_t version = HintJournal::kVersion;
+    return std::fwrite(&magic, 1, sizeof(magic), f) ==
+               sizeof(magic) &&
+           std::fwrite(&version, 1, sizeof(version), f) ==
+               sizeof(version);
+}
+
+bool
+syncFile(std::FILE *f)
+{
+    return std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+}
+
+std::vector<unsigned char>
+frameRecord(const VersionedHintBundle &bundle)
+{
+    std::vector<unsigned char> payload =
+        encodeVersionedBundle(bundle);
+    std::vector<unsigned char> record;
+    record.reserve(12 + payload.size());
+    uint32_t magic = HintJournal::kRecordMagic;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    uint32_t crc = crc32(payload.data(), payload.size());
+    auto putU32 = [&](uint32_t v) {
+        const auto *p = reinterpret_cast<const unsigned char *>(&v);
+        record.insert(record.end(), p, p + sizeof(v));
+    };
+    putU32(magic);
+    putU32(len);
+    putU32(crc);
+    record.insert(record.end(), payload.begin(), payload.end());
+    return record;
+}
+
+} // namespace
+
+HintJournal::~HintJournal()
+{
+    close();
+}
+
+void
+HintJournal::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+IoStatus
+HintJournal::open(const std::string &path,
+                  std::vector<VersionedHintBundle> &out,
+                  RecoveryInfo *info)
+{
+    close();
+    out.clear();
+    path_ = path;
+    RecoveryInfo local;
+
+    std::FILE *existing = std::fopen(path.c_str(), "rb");
+    bool needCompact = false;
+    long fileEnd = 0;
+    long validEnd = 0;
+    if (existing) {
+        uint32_t magic = 0, version = 0;
+        bool headerOk =
+            std::fread(&magic, 1, sizeof(magic), existing) ==
+                sizeof(magic) &&
+            std::fread(&version, 1, sizeof(version), existing) ==
+                sizeof(version) &&
+            magic == kFileMagic && version == kVersion;
+        if (headerOk) {
+            ReplayResult replayed = replayStream(existing);
+            out = std::move(replayed.bundles);
+            validEnd = replayed.validEnd;
+            std::fseek(existing, 0, SEEK_END);
+            fileEnd = std::ftell(existing);
+            needCompact = replayed.sawGarbage || validEnd != fileEnd;
+        } else {
+            // Header unreadable: nothing salvageable; start fresh.
+            std::fseek(existing, 0, SEEK_END);
+            fileEnd = std::ftell(existing);
+            needCompact = fileEnd != 0;
+        }
+        std::fclose(existing);
+        local.tailBytesDiscarded =
+            static_cast<size_t>(fileEnd - validEnd);
+        local.recordsRecovered = out.size();
+    } else {
+        needCompact = true; // no file yet: write a fresh one
+    }
+
+    if (needCompact) {
+        // Rewrite the surviving prefix through a temp file and
+        // atomically rename it into place, so a crash during
+        // compaction leaves either the old file or the new one —
+        // never a half-written hybrid.
+        std::string tmp = path + ".tmp";
+        std::FILE *nf = std::fopen(tmp.c_str(), "wb");
+        if (!nf)
+            return IoStatus::missingFile(tmp);
+        bool ok = writeHeader(nf);
+        for (const VersionedHintBundle &bundle : out) {
+            if (!ok)
+                break;
+            std::vector<unsigned char> record = frameRecord(bundle);
+            ok = std::fwrite(record.data(), 1, record.size(), nf) ==
+                 record.size();
+        }
+        ok = ok && syncFile(nf);
+        std::fclose(nf);
+        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+            std::remove(tmp.c_str());
+            return IoStatus::corruptFile(path,
+                                         "journal compaction failed");
+        }
+        local.compacted = true;
+    }
+
+    file_ = std::fopen(path.c_str(), "r+b");
+    if (!file_)
+        return IoStatus::missingFile(path);
+    std::fseek(file_, 0, SEEK_END);
+    goodOffset_ = std::ftell(file_);
+    repairPending_ = false;
+    if (info)
+        *info = local;
+    return IoStatus::okStatus();
+}
+
+bool
+HintJournal::append(const VersionedHintBundle &bundle)
+{
+    if (!file_)
+        return false;
+
+    if (repairPending_) {
+        // A previous append tore; cut the file back to the last
+        // durable record before writing anything new.
+        if (::ftruncate(::fileno(file_), goodOffset_) != 0) {
+            ++appendFailures_;
+            return false;
+        }
+        std::fseek(file_, goodOffset_, SEEK_SET);
+        repairPending_ = false;
+        ++repairs_;
+    }
+
+    std::vector<unsigned char> record = frameRecord(bundle);
+    uint64_t index = appends_++;
+
+    size_t toWrite = record.size();
+    if (FaultInjector::instance().journalWritePlan(index) ==
+        FaultInjector::WritePlan::Torn) {
+        toWrite = record.size() / 2; // simulate a torn write
+    }
+
+    size_t wrote = std::fwrite(record.data(), 1, toWrite, file_);
+    bool ok = wrote == record.size() && syncFile(file_);
+    if (!ok) {
+        std::fflush(file_);
+        ++appendFailures_;
+        repairPending_ = true;
+        whisper_warn("hint journal: torn write on append ", index,
+                     " (", wrote, "/", record.size(),
+                     " bytes); will repair");
+        return false;
+    }
+    goodOffset_ += static_cast<long>(record.size());
+    return true;
+}
+
+std::vector<VersionedHintBundle>
+HintJournal::replay(const std::string &path, RecoveryInfo *info)
+{
+    std::vector<VersionedHintBundle> out;
+    RecoveryInfo local;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (info)
+            *info = local;
+        return out;
+    }
+    uint32_t magic = 0, version = 0;
+    bool headerOk =
+        std::fread(&magic, 1, sizeof(magic), f) == sizeof(magic) &&
+        std::fread(&version, 1, sizeof(version), f) ==
+            sizeof(version) &&
+        magic == kFileMagic && version == kVersion;
+    if (headerOk) {
+        ReplayResult replayed = replayStream(f);
+        out = std::move(replayed.bundles);
+        long fileEnd = 0;
+        std::fseek(f, 0, SEEK_END);
+        fileEnd = std::ftell(f);
+        local.tailBytesDiscarded =
+            static_cast<size_t>(fileEnd - replayed.validEnd);
+        local.recordsRecovered = out.size();
+    }
+    std::fclose(f);
+    if (info)
+        *info = local;
+    return out;
+}
+
+} // namespace whisper

@@ -1,14 +1,56 @@
 #include "service/hint_store.hh"
 
+#include "util/logging.hh"
+
 namespace whisper
 {
 
 void
 HintStore::publish(std::shared_ptr<const VersionedHintBundle> next)
 {
+    if (journal_ && !journal_->append(*next)) {
+        journalFailures_.fetch_add(1, std::memory_order_relaxed);
+        whisper_warn("hint store: journal append failed for epoch ",
+                     next->epoch, " (deployment proceeds, durability "
+                     "degraded)");
+    }
     current_.store(next, std::memory_order_release);
     std::lock_guard<std::mutex> lock(historyMutex_);
     history_.push_back(std::move(next));
+}
+
+size_t
+HintStore::restore(std::vector<VersionedHintBundle> history)
+{
+    std::vector<Snapshot> restored;
+    uint64_t lastEpoch = 0;
+    for (VersionedHintBundle &bundle : history) {
+        if (bundle.epoch <= lastEpoch) {
+            whisper_warn("hint store: dropping non-monotonic journal "
+                         "record (epoch ", bundle.epoch, " after ",
+                         lastEpoch, ")");
+            continue;
+        }
+        lastEpoch = bundle.epoch;
+        restored.push_back(std::make_shared<VersionedHintBundle>(
+            std::move(bundle)));
+    }
+    if (restored.empty())
+        return 0;
+
+    whisper_assert(!current_.load() && generations() == 0,
+                   "restore() must precede any deployment");
+    current_.store(restored.back(), std::memory_order_release);
+    nextEpoch_.store(lastEpoch + 1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(historyMutex_);
+    history_ = std::move(restored);
+    return history_.size();
+}
+
+void
+HintStore::attachJournal(HintJournal *journal)
+{
+    journal_ = journal;
 }
 
 bool
@@ -35,6 +77,10 @@ HintStore::rollback()
     Snapshot previous;
     {
         std::lock_guard<std::mutex> lock(historyMutex_);
+        // Nothing deployed, or only the first generation: there is
+        // no earlier payload to return to (epoch 0 is "no hints",
+        // not a generation). Clean error, never an out-of-bounds
+        // history index.
         if (history_.size() < 2)
             return false;
         previous = history_[history_.size() - 2];

@@ -29,6 +29,7 @@
 #include "core/whisper_io.hh"
 #include "core/whisper_predictor.hh"
 #include "service/chunk_profiler.hh"
+#include "service/hint_journal.hh"
 
 namespace whisper
 {
@@ -38,6 +39,24 @@ class HintStore
 {
   public:
     using Snapshot = std::shared_ptr<const VersionedHintBundle>;
+
+    /**
+     * Preload the store from journal-replayed generations (ascending
+     * epochs; out-of-order records are dropped as corrupt). The last
+     * one becomes the deployed bundle and new epochs continue after
+     * it — a restarted service resumes instead of starting at 0.
+     * Must be called before any propose(). @return generations kept.
+     */
+    size_t restore(std::vector<VersionedHintBundle> history);
+
+    /** Journal every subsequent deployment (including rollbacks)
+     * to @p journal (not owned; may be nullptr to detach). Already
+     * restored generations are NOT re-journaled. */
+    void attachJournal(HintJournal *journal);
+
+    /** Appends that failed (deployment stays up, durability is
+     * degraded until the journal self-heals). */
+    uint64_t journalFailures() const { return journalFailures_.load(); }
 
     /** Currently deployed bundle; nullptr before any deployment.
      * Wait-free for readers. */
@@ -70,8 +89,9 @@ class HintStore
 
     /**
      * Re-deploy the previously accepted bundle under a fresh epoch
-     * (manual regression escape hatch). @return false when there is
-     * no earlier generation to return to.
+     * (manual regression escape hatch). Rolling back an empty store,
+     * or past the first generation (epoch 0 has no payload to return
+     * to), is a clean `false` — never UB.
      */
     bool rollback();
 
@@ -95,6 +115,9 @@ class HintStore
     std::atomic<uint64_t> accepted_{0};
     std::atomic<uint64_t> rejected_{0};
     std::atomic<uint64_t> rollbacks_{0};
+
+    HintJournal *journal_ = nullptr;
+    std::atomic<uint64_t> journalFailures_{0};
 };
 
 /**

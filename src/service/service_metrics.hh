@@ -37,6 +37,24 @@ struct ServiceMetrics
      * epoch minus before it (negative = the swap helped). */
     RunningStat deployedMpkiDelta;
 
+    // -- robustness: corrupt-input handling --
+    uint64_t chunksSkipped = 0;   //!< damaged trace frames dropped
+    uint64_t recordsSkipped = 0;  //!< records lost to dropped frames
+    uint64_t readRetries = 0;     //!< transient read errors retried
+    uint64_t corruptFiles = 0;    //!< files rejected (bad header/body)
+
+    // -- robustness: training supervision --
+    uint64_t tasksRequeued = 0;     //!< deadline-expired reclaims
+    uint64_t taskFailures = 0;      //!< training attempts that threw
+    uint64_t branchesDegraded = 0;  //!< fell back to TAGE-SC-L
+    uint64_t workersDied = 0;       //!< training workers lost
+
+    // -- robustness: journal durability --
+    uint64_t journalAppendFailures = 0; //!< torn/failed appends
+    uint64_t journalRepairs = 0;        //!< in-place tail truncations
+    uint64_t journalResumedEpoch = 0;   //!< epoch restored at startup
+    uint64_t journalRecoveredRecords = 0; //!< generations replayed
+
     void
     report(std::ostream &os) const
     {
@@ -67,6 +85,28 @@ struct ServiceMetrics
                   num(bundleAcceptance.ratio())});
         t.addRow({"deployed MPKI delta per epoch (mean)",
                   num(deployedMpkiDelta.mean())});
+        t.addRow({"chunks skipped (corrupt)",
+                  std::to_string(chunksSkipped)});
+        t.addRow({"records skipped (corrupt)",
+                  std::to_string(recordsSkipped)});
+        t.addRow({"read retries", std::to_string(readRetries)});
+        t.addRow({"files rejected", std::to_string(corruptFiles)});
+        t.addRow({"training tasks requeued",
+                  std::to_string(tasksRequeued)});
+        t.addRow({"training task failures",
+                  std::to_string(taskFailures)});
+        t.addRow({"branches degraded to baseline",
+                  std::to_string(branchesDegraded)});
+        t.addRow({"training workers died",
+                  std::to_string(workersDied)});
+        t.addRow({"journal append failures",
+                  std::to_string(journalAppendFailures)});
+        t.addRow({"journal repairs",
+                  std::to_string(journalRepairs)});
+        t.addRow({"journal resumed epoch",
+                  std::to_string(journalResumedEpoch)});
+        t.addRow({"journal generations recovered",
+                  std::to_string(journalRecoveredRecords)});
         t.print(os);
     }
 };

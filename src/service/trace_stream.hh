@@ -8,6 +8,16 @@
  * thread over a directory of trace files (sorted by name, so file
  * naming encodes the drift sequence) feeding a BoundedQueue of
  * TraceChunks.
+ *
+ * The reader is hardened against the inputs production actually
+ * delivers: version-2 traces are CRC32-framed, and a frame that
+ * fails its checksum (bit rot, torn write, fault injection) is
+ * skipped and counted instead of poisoning the profile or killing
+ * the stream; a damaged frame header triggers a bounded resync scan
+ * for the next frame magic; transient short reads are retried with
+ * exponential backoff; and every length field is hard-capped so a
+ * corrupt (or hostile) size can never drive an unbounded
+ * allocation.
  */
 
 #ifndef WHISPER_SERVICE_TRACE_STREAM_HH
@@ -23,6 +33,7 @@
 #include "service/bounded_queue.hh"
 #include "trace/branch_record.hh"
 #include "trace/branch_source.hh"
+#include "util/io_status.hh"
 
 namespace whisper
 {
@@ -65,11 +76,18 @@ class ChunkSource : public BranchSource
 /**
  * Incremental .whrt reader: parses the header eagerly, then returns
  * records in caller-sized chunks so memory stays bounded no matter
- * how large the trace file is.
+ * how large the trace file is. Reads both format versions (raw v1,
+ * CRC-framed v2); damaged v2 frames are skipped and counted.
  */
 class TraceStreamReader
 {
   public:
+    /** Bytes scanned past a damaged frame header looking for the
+     * next frame magic before giving up on the file. */
+    static constexpr size_t kResyncWindowBytes = 4u << 20;
+    /** Transient-read retries before the error counts as hard. */
+    static constexpr unsigned kMaxReadRetries = 4;
+
     explicit TraceStreamReader(const std::string &path);
     ~TraceStreamReader();
 
@@ -78,6 +96,8 @@ class TraceStreamReader
 
     /** Header parsed and magic/version verified. */
     bool valid() const { return file_ != nullptr; }
+    /** Why the header was rejected (missing vs corrupt). */
+    const IoStatus &status() const { return status_; }
 
     const std::string &app() const { return app_; }
     uint32_t inputId() const { return inputId_; }
@@ -87,22 +107,54 @@ class TraceStreamReader
     uint64_t recordsTotal() const { return recordsTotal_; }
     uint64_t recordsRead() const { return recordsRead_; }
 
+    /** Damaged frames dropped (CRC mismatch, bad header, torn
+     * tail). */
+    uint64_t framesSkipped() const { return framesSkipped_; }
+    /** Records lost to dropped frames. */
+    uint64_t recordsSkipped() const { return recordsSkipped_; }
+    /** Transient read errors that were retried. */
+    uint64_t readRetries() const { return readRetries_; }
+
     /**
      * Read up to @p maxRecords into @p out (replacing its contents).
-     * @return number of records delivered; 0 at end of stream. A
-     * short file (fewer records than the header claimed) invalidates
+     * @return number of records delivered; 0 at end of stream.
+     * Damaged v2 frames are skipped (see framesSkipped()); a short
+     * v1 file (fewer records than the header claimed) invalidates
      * the reader.
      */
     size_t readChunk(std::vector<BranchRecord> &out,
                      size_t maxRecords);
 
   private:
+    /** Outcome of trying to buffer the next v2 frame. */
+    enum class FrameResult
+    {
+        Loaded,
+        EndOfStream,
+    };
+
+    FrameResult loadNextFrame();
+    bool resyncToFrameMagic();
+    /** fread with bounded retry/backoff on transient errors; returns
+     * bytes actually read (< @p n only on EOF or hard error). */
+    size_t readWithRetry(void *p, size_t n);
+    void finishStream(bool corrupt);
+
     std::string path_;
     std::FILE *file_ = nullptr;
+    IoStatus status_;
+    uint32_t version_ = 0;
     std::string app_;
     uint32_t inputId_ = 0;
     uint64_t recordsTotal_ = 0;
     uint64_t recordsRead_ = 0;
+
+    std::vector<BranchRecord> frame_; //!< validated v2 frame buffer
+    size_t framePos_ = 0;
+
+    uint64_t framesSkipped_ = 0;
+    uint64_t recordsSkipped_ = 0;
+    uint64_t readRetries_ = 0;
 };
 
 /**
@@ -133,7 +185,14 @@ class ChunkIngestor
     uint64_t filesIngested() const { return filesIngested_; }
     uint64_t chunksProduced() const { return chunksProduced_; }
     uint64_t recordsIngested() const { return recordsIngested_; }
-    /** Files that failed to open/parse. */
+    /** Damaged frames skipped across all files. */
+    uint64_t framesSkipped() const { return framesSkipped_; }
+    /** Records lost to skipped frames across all files. */
+    uint64_t recordsSkipped() const { return recordsSkipped_; }
+    /** Transient read errors retried across all files. */
+    uint64_t readRetries() const { return readRetries_; }
+    /** Files that failed to open/parse, with the reason (missing vs
+     * corrupt header vs truncated body). */
     const std::vector<std::string> &errors() const { return errors_; }
 
     /** All .whrt files directly inside @p dir, sorted by name. */
@@ -152,6 +211,9 @@ class ChunkIngestor
     uint64_t filesIngested_ = 0;
     uint64_t chunksProduced_ = 0;
     uint64_t recordsIngested_ = 0;
+    uint64_t framesSkipped_ = 0;
+    uint64_t recordsSkipped_ = 0;
+    uint64_t readRetries_ = 0;
     std::vector<std::string> errors_;
 };
 

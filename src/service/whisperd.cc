@@ -8,9 +8,24 @@
 namespace whisper
 {
 
+namespace
+{
+
+TrainingPoolOptions
+poolOptions(const WhisperdConfig &cfg)
+{
+    TrainingPoolOptions opts;
+    opts.workers = cfg.trainWorkers;
+    opts.taskDeadlineMs = cfg.trainTaskDeadlineMs;
+    opts.maxAttempts = cfg.trainMaxAttempts;
+    return opts;
+}
+
+} // namespace
+
 Whisperd::Whisperd(const WhisperdConfig &cfg,
                    const TruthTableCache &cache)
-    : cfg_(cfg), cache_(cache), pool_(cfg.trainWorkers)
+    : cfg_(cfg), cache_(cache), pool_(poolOptions(cfg))
 {
     BaselineFactory baseline = [kb = cfg_.tageBudgetKB] {
         return makeTage(kb);
@@ -19,6 +34,32 @@ Whisperd::Whisperd(const WhisperdConfig &cfg,
         cfg_.whisper, cfg_.profileShards, baseline,
         cfg_.profilePolicy,
         std::max<size_t>(1, cfg_.queueCapacity / 2));
+
+    if (!cfg_.journalPath.empty()) {
+        std::vector<VersionedHintBundle> replayed;
+        HintJournal::RecoveryInfo recovery;
+        IoStatus st =
+            journal_.open(cfg_.journalPath, replayed, &recovery);
+        if (!st) {
+            whisper_warn("whisperd: journal disabled: ", st.message);
+        } else {
+            size_t kept = store_.restore(std::move(replayed));
+            store_.attachJournal(&journal_);
+            metrics_.journalResumedEpoch = store_.epoch();
+            metrics_.journalRecoveredRecords = kept;
+            if (recovery.tailBytesDiscarded > 0) {
+                whisper_warn("whisperd: journal had a torn tail (",
+                             recovery.tailBytesDiscarded,
+                             " bytes discarded, file compacted)");
+            }
+            if (cfg_.verbose && kept > 0) {
+                whisper_inform("whisperd: resumed from journal at "
+                               "epoch ",
+                               store_.epoch(), " (", kept,
+                               " generations)");
+            }
+        }
+    }
 }
 
 Whisperd::~Whisperd() = default;
@@ -43,6 +84,10 @@ Whisperd::run(const std::string &chunkDir)
 
     closer.join();
     metrics_.filesIngested += ingestor.filesIngested();
+    metrics_.chunksSkipped += ingestor.framesSkipped();
+    metrics_.recordsSkipped += ingestor.recordsSkipped();
+    metrics_.readRetries += ingestor.readRetries();
+    metrics_.corruptFiles += ingestor.errors().size();
     for (const std::string &bad : ingestor.errors())
         whisper_warn("whisperd: could not ingest ", bad);
 }
@@ -88,6 +133,11 @@ Whisperd::runFromQueue(BoundedQueue<TraceChunk> &queue)
 void
 Whisperd::absorb(TraceChunk chunk)
 {
+    // A chunk can arrive empty when every frame of its file slice
+    // failed validation; folding it in would only clear the
+    // placement window.
+    if (chunk.records.empty())
+        return;
     placementWindow_ = chunk.records;
     shards_->submit(std::move(chunk));
     ++chunksSinceTrain_;
@@ -156,6 +206,14 @@ Whisperd::trainEpoch()
                                    incumbentStats.mpki());
     ++metrics_.epochsRun;
     chunksSinceTrain_ = 0;
+
+    const SupervisionStats &sup = pool_.supervision();
+    metrics_.tasksRequeued += sup.tasksRequeued;
+    metrics_.taskFailures += sup.taskFailures;
+    metrics_.branchesDegraded += sup.branchesDegraded;
+    metrics_.workersDied += sup.workersDied;
+    metrics_.journalAppendFailures = journal_.appendFailures();
+    metrics_.journalRepairs = journal_.repairs();
 
     if (cfg_.verbose) {
         whisper_inform(

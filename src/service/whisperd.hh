@@ -63,6 +63,15 @@ struct WhisperdConfig
     HintInjector::Config injector;
     /** Log per-epoch decisions to stdout. */
     bool verbose = true;
+
+    /** Write-ahead journal for deployed bundles ("" = no journal).
+     * On startup the journal is replayed and the service resumes
+     * from the last durable epoch instead of epoch 0. */
+    std::string journalPath;
+    /** TrainingPool supervision: per-task deadline (0 = off) and
+     * attempts before a branch is degraded to the baseline. */
+    uint64_t trainTaskDeadlineMs = 30'000;
+    unsigned trainMaxAttempts = 3;
 };
 
 /** The service. One instance per monitored application. */
@@ -88,6 +97,14 @@ class Whisperd
     const ServiceMetrics &metrics() const { return metrics_; }
     uint64_t epochsRun() const { return metrics_.epochsRun; }
 
+    /** Epoch restored from the journal at startup (0 = fresh). */
+    uint64_t resumedEpoch() const { return metrics_.journalResumedEpoch; }
+    /** Generations replayed from the journal at startup. */
+    uint64_t recoveredGenerations() const
+    {
+        return metrics_.journalRecoveredRecords;
+    }
+
   private:
     /** Fold a chunk into the training shards. */
     void absorb(TraceChunk chunk);
@@ -101,6 +118,7 @@ class Whisperd
     const TruthTableCache &cache_;
     std::unique_ptr<ShardedProfiler> shards_;
     TrainingPool pool_;
+    HintJournal journal_;
     HintStore store_;
     ServiceMetrics metrics_;
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/crc32.hh"
+
 namespace whisper
 {
 
@@ -11,6 +13,8 @@ namespace
 
 constexpr uint32_t kMagic = BranchTrace::kFileMagic;
 constexpr uint32_t kVersion = BranchTrace::kFileVersion;
+constexpr uint32_t kFrameMagic = BranchTrace::kFrameMagic;
+constexpr uint32_t kMaxFrameRecords = BranchTrace::kMaxFrameRecords;
 
 } // namespace
 
@@ -44,50 +48,125 @@ BranchTrace::save(const std::string &path) const
     put(&inputId_, sizeof(inputId_));
     uint64_t n = records_.size();
     put(&n, sizeof(n));
-    put(records_.data(), n * sizeof(BranchRecord));
+
+    // CRC-framed record array: each frame checks independently, so a
+    // reader can skip one damaged frame instead of losing the file.
+    // Records are staged through a zeroed buffer because BranchRecord
+    // has tail padding; writing the structs raw would leak
+    // indeterminate bytes and make identical traces byte-different.
+    std::vector<BranchRecord> staged;
+    for (size_t at = 0; at < records_.size();
+         at += kDefaultFrameRecords) {
+        uint32_t count = static_cast<uint32_t>(
+            std::min<size_t>(kDefaultFrameRecords,
+                             records_.size() - at));
+        size_t bytes = count * sizeof(BranchRecord);
+        staged.resize(count);
+        std::memset(static_cast<void *>(staged.data()), 0, bytes);
+        for (uint32_t i = 0; i < count; ++i) {
+            const BranchRecord &rec = records_[at + i];
+            staged[i].pc = rec.pc;
+            staged[i].target = rec.target;
+            staged[i].kind = rec.kind;
+            staged[i].taken = rec.taken;
+            staged[i].instGap = rec.instGap;
+        }
+        uint32_t crc = crc32(staged.data(), bytes);
+        uint32_t frameMagic = kFrameMagic;
+        put(&frameMagic, sizeof(frameMagic));
+        put(&count, sizeof(count));
+        put(&crc, sizeof(crc));
+        put(staged.data(), bytes);
+    }
 
     std::fclose(f);
     return ok;
 }
 
-bool
+IoStatus
 BranchTrace::load(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return false;
+        return IoStatus::missingFile(path);
 
     bool ok = true;
     auto get = [&](void *p, size_t n) {
         if (ok && std::fread(p, 1, n, f) != n)
             ok = false;
     };
+    auto fail = [&](const char *why) {
+        std::fclose(f);
+        return IoStatus::corruptFile(path, why);
+    };
 
     uint32_t magic = 0, version = 0;
     get(&magic, sizeof(magic));
     get(&version, sizeof(version));
-    if (!ok || magic != kMagic || version != kVersion) {
-        std::fclose(f);
-        return false;
-    }
+    if (!ok || magic != kMagic)
+        return fail("bad magic (not a .whrt trace)");
+    if (version != 1 && version != kVersion)
+        return fail("unsupported format version");
 
     uint32_t nameLen = 0;
     get(&nameLen, sizeof(nameLen));
-    if (!ok || nameLen > 4096) {
-        std::fclose(f);
-        return false;
-    }
+    if (!ok || nameLen > 4096)
+        return fail("oversized app-name length field");
     std::string name(nameLen, '\0');
     get(name.data(), nameLen);
     uint32_t inputId = 0;
     get(&inputId, sizeof(inputId));
     uint64_t n = 0;
     get(&n, sizeof(n));
-    std::vector<BranchRecord> records(n);
-    get(records.data(), n * sizeof(BranchRecord));
-    std::fclose(f);
     if (!ok)
-        return false;
+        return fail("truncated header");
+
+    // Cap the claimed record count by what the file can actually
+    // hold, so a corrupted (or hostile) length field errors out
+    // instead of driving a multi-gigabyte allocation.
+    long bodyStart = std::ftell(f);
+    if (bodyStart < 0 || std::fseek(f, 0, SEEK_END) != 0)
+        return fail("unseekable file");
+    long fileEnd = std::ftell(f);
+    std::fseek(f, bodyStart, SEEK_SET);
+    uint64_t bodyBytes = static_cast<uint64_t>(fileEnd - bodyStart);
+    if (n * sizeof(BranchRecord) > bodyBytes)
+        return fail("record count exceeds file size");
+
+    std::vector<BranchRecord> records;
+    records.reserve(n);
+    if (version == 1) {
+        records.resize(n);
+        if (!records.empty() &&
+            std::fread(records.data(), sizeof(BranchRecord), n, f) !=
+                n) {
+            return fail("truncated record array");
+        }
+    } else {
+        while (records.size() < n) {
+            uint32_t frameMagic = 0, count = 0, crc = 0;
+            get(&frameMagic, sizeof(frameMagic));
+            get(&count, sizeof(count));
+            get(&crc, sizeof(crc));
+            if (!ok || frameMagic != kFrameMagic)
+                return fail("bad frame header");
+            if (count == 0 || count > kMaxFrameRecords ||
+                records.size() + count > n) {
+                return fail("frame record count out of bounds");
+            }
+            size_t at = records.size();
+            records.resize(at + count);
+            if (std::fread(records.data() + at, sizeof(BranchRecord),
+                           count, f) != count) {
+                return fail("truncated frame");
+            }
+            if (crc32(records.data() + at,
+                      count * sizeof(BranchRecord)) != crc) {
+                return fail("frame CRC mismatch");
+            }
+        }
+    }
+    std::fclose(f);
 
     app_ = std::move(name);
     inputId_ = inputId;
@@ -99,7 +178,7 @@ BranchTrace::load(const std::string &path)
         if (rec.isConditional())
             ++conditionals_;
     }
-    return true;
+    return IoStatus::okStatus();
 }
 
 } // namespace whisper

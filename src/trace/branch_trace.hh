@@ -12,6 +12,7 @@
 
 #include "trace/branch_record.hh"
 #include "trace/branch_source.hh"
+#include "util/io_status.hh"
 
 namespace whisper
 {
@@ -28,9 +29,17 @@ class BranchTrace
     /** .whrt on-disk format identity, shared with the streaming
      * reader in src/service/trace_stream.*. The layout is: magic,
      * version, name length + bytes, input id, record count, then the
-     * raw BranchRecord array. */
+     * record array. Version 2 stores the array as CRC32-framed
+     * chunks (frame magic, record count, CRC, records) so damage is
+     * localized to one frame; version 1 (raw array) is still read. */
     static constexpr uint32_t kFileMagic = 0x57485254; // "WHRT"
-    static constexpr uint32_t kFileVersion = 1;
+    static constexpr uint32_t kFileVersion = 2;
+    static constexpr uint32_t kFrameMagic = 0x57484652; // "WHFR"
+    /** Upper bound a reader accepts for one frame's record count —
+     * turns hostile length fields into errors, not allocations. */
+    static constexpr uint32_t kMaxFrameRecords = 1u << 20;
+    /** Frame granularity save() uses. */
+    static constexpr uint32_t kDefaultFrameRecords = 16'384;
 
     BranchTrace() = default;
     BranchTrace(std::string app, uint32_t inputId)
@@ -65,10 +74,11 @@ class BranchTrace
     auto begin() const { return records_.begin(); }
     auto end() const { return records_.end(); }
 
-    /** Binary round-trip. save() overwrites @p path; load() replaces
-     * the current contents. Both return false on I/O failure. */
+    /** Binary round-trip. save() overwrites @p path and returns
+     * false on I/O failure; load() replaces the current contents and
+     * reports missing-vs-corrupt through its IoStatus. */
     bool save(const std::string &path) const;
-    bool load(const std::string &path);
+    IoStatus load(const std::string &path);
 
   private:
     std::string app_;

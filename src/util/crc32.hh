@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte buffers.
+ *
+ * Used to frame on-disk records (trace chunks, hint-store journal
+ * entries) so that torn writes and bit flips are detected at read
+ * time instead of silently corrupting profiles or deployed hints.
+ */
+
+#ifndef WHISPER_UTIL_CRC32_HH
+#define WHISPER_UTIL_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace whisper
+{
+
+namespace detail
+{
+
+inline const std::array<uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** CRC-32 of @p len bytes at @p data, continuing from @p seed
+ * (pass the previous return value to checksum in pieces). */
+inline uint32_t
+crc32(const void *data, size_t len, uint32_t seed = 0)
+{
+    const auto &table = detail::crc32Table();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace whisper
+
+#endif // WHISPER_UTIL_CRC32_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Expected-style status for load paths.
+ *
+ * The original loaders returned bare bool, which collapsed "the file
+ * is not there" (operator error, or a fresh deployment) and "the file
+ * is there but damaged" (torn write, bit rot, version skew) into one
+ * indistinguishable failure. Tools need to tell those apart: a
+ * missing profile is retried or regenerated, a corrupt one is an
+ * incident. IoStatus carries the distinction plus a human-readable
+ * message naming what was wrong.
+ */
+
+#ifndef WHISPER_UTIL_IO_STATUS_HH
+#define WHISPER_UTIL_IO_STATUS_HH
+
+#include <string>
+#include <utility>
+
+namespace whisper
+{
+
+/** Outcome of a load/save operation. */
+enum class IoCode
+{
+    Ok,      //!< operation succeeded
+    Missing, //!< file absent or unreadable (ENOENT and friends)
+    Corrupt, //!< file present but failed validation (magic, CRC,
+             //!< bounds, truncation)
+};
+
+/** Load/save result: a code plus a diagnostic message. Contextually
+ * convertible to bool (true = success) so `if (!load(...))` keeps
+ * working at every call site. */
+struct IoStatus
+{
+    IoCode code = IoCode::Ok;
+    std::string message;
+
+    explicit operator bool() const { return code == IoCode::Ok; }
+    bool ok() const { return code == IoCode::Ok; }
+    bool missing() const { return code == IoCode::Missing; }
+    bool corrupt() const { return code == IoCode::Corrupt; }
+
+    static IoStatus
+    okStatus()
+    {
+        return {};
+    }
+
+    static IoStatus
+    missingFile(const std::string &path)
+    {
+        return {IoCode::Missing, path + ": no such file or unreadable"};
+    }
+
+    static IoStatus
+    corruptFile(const std::string &path, std::string why)
+    {
+        return {IoCode::Corrupt, path + ": " + std::move(why)};
+    }
+};
+
+} // namespace whisper
+
+#endif // WHISPER_UTIL_IO_STATUS_HH

@@ -34,7 +34,7 @@ TEST(ProfileIo, RoundTrip)
     ASSERT_TRUE(saveProfile(original, path));
 
     BranchProfile loaded;
-    ASSERT_TRUE(loadProfile(loaded, path));
+    ASSERT_TRUE(loadProfile(loaded, path).ok());
     std::remove(path.c_str());
 
     EXPECT_EQ(loaded.numBranches(), original.numBranches());
@@ -71,7 +71,7 @@ TEST(ProfileIo, LoadedProfileTrainsIdentically)
     std::string path = "/tmp/whisper_test_profile2.bin";
     ASSERT_TRUE(saveProfile(original, path));
     BranchProfile loaded;
-    ASSERT_TRUE(loadProfile(loaded, path));
+    ASSERT_TRUE(loadProfile(loaded, path).ok());
     std::remove(path.c_str());
 
     WhisperConfig cfg;
@@ -94,14 +94,15 @@ TEST(ProfileIo, RejectsGarbage)
     std::fputs("garbage garbage garbage", f);
     std::fclose(f);
     BranchProfile p;
-    EXPECT_FALSE(loadProfile(p, path));
+    EXPECT_TRUE(loadProfile(p, path).corrupt());
     std::remove(path.c_str());
 }
 
 TEST(ProfileIo, MissingFileFails)
 {
     BranchProfile p;
-    EXPECT_FALSE(loadProfile(p, "/tmp/does_not_exist_whisper.bin"));
+    EXPECT_TRUE(
+        loadProfile(p, "/tmp/does_not_exist_whisper.bin").missing());
     EXPECT_FALSE(saveProfile(p, "/nonexistent-dir/x.bin"));
 }
 
@@ -136,7 +137,7 @@ TEST(HintBundleIo, RoundTrip)
     std::string path = "/tmp/whisper_test_hints.bin";
     ASSERT_TRUE(saveHintBundle(original, path));
     HintBundle loaded;
-    ASSERT_TRUE(loadHintBundle(loaded, path));
+    ASSERT_TRUE(loadHintBundle(loaded, path).ok());
     std::remove(path.c_str());
 
     ASSERT_EQ(loaded.hints.size(), original.hints.size());
@@ -167,7 +168,7 @@ TEST(HintBundleIo, BundleDrivesPredictor)
     std::string path = "/tmp/whisper_test_bundle.bin";
     ASSERT_TRUE(saveHintBundle(bundle, path));
     HintBundle loaded;
-    ASSERT_TRUE(loadHintBundle(loaded, path));
+    ASSERT_TRUE(loadHintBundle(loaded, path).ok());
     std::remove(path.c_str());
 
     WhisperBuild rebuilt;
@@ -187,7 +188,7 @@ TEST(HintBundleIo, RejectsGarbage)
     std::fputs("x", f);
     std::fclose(f);
     HintBundle b;
-    EXPECT_FALSE(loadHintBundle(b, path));
+    EXPECT_TRUE(loadHintBundle(b, path).corrupt());
     std::remove(path.c_str());
 }
 
@@ -218,7 +219,7 @@ TEST(VersionedBundleIo, RoundTripPreservesEpochHeader)
     std::string path = "/tmp/whisper_test_versioned.bin";
     ASSERT_TRUE(saveVersionedBundle(original, path));
     VersionedHintBundle loaded;
-    ASSERT_TRUE(loadVersionedBundle(loaded, path));
+    ASSERT_TRUE(loadVersionedBundle(loaded, path).ok());
     std::remove(path.c_str());
 
     EXPECT_EQ(loaded.epoch, original.epoch);
@@ -236,14 +237,14 @@ TEST(VersionedBundleIo, RejectsBadMagic)
     std::string path = "/tmp/whisper_test_versioned_badmagic.bin";
     ASSERT_TRUE(saveHintBundle(plain, path));
     VersionedHintBundle v;
-    EXPECT_FALSE(loadVersionedBundle(v, path));
+    EXPECT_TRUE(loadVersionedBundle(v, path).corrupt());
 
     // And vice versa: a versioned file is not a plain bundle.
     VersionedHintBundle versioned;
     versioned.epoch = 1;
     ASSERT_TRUE(saveVersionedBundle(versioned, path));
     HintBundle b;
-    EXPECT_FALSE(loadHintBundle(b, path));
+    EXPECT_TRUE(loadHintBundle(b, path).corrupt());
     std::remove(path.c_str());
 }
 
@@ -256,6 +257,6 @@ TEST(VersionedBundleIo, RejectsTruncatedHeader)
     std::fwrite(&magic, sizeof magic, 1, f);
     std::fclose(f);
     VersionedHintBundle v;
-    EXPECT_FALSE(loadVersionedBundle(v, path));
+    EXPECT_TRUE(loadVersionedBundle(v, path).corrupt());
     std::remove(path.c_str());
 }

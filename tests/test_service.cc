@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -102,6 +103,91 @@ TEST(BoundedQueue, BlockingHandoffAcrossThreads)
     producer.join();
     EXPECT_EQ(count, kItems);
     EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(BoundedQueue, CloseWhileProducersBlocked)
+{
+    // Producers blocked on a full queue must wake and fail cleanly
+    // when the queue closes — a wedged producer would hang whisperd's
+    // shutdown forever.
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(0)); // fill the queue
+    constexpr int kProducers = 4;
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+            if (!q.push(1))
+                ++rejected;
+        });
+    }
+    // Give the producers time to block on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    for (auto &t : producers)
+        t.join(); // must not deadlock
+    EXPECT_EQ(rejected.load(), kProducers);
+    int v = -1;
+    EXPECT_TRUE(q.pop(v)); // pre-close item still drains
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, CloseWhileConsumersBlocked)
+{
+    BoundedQueue<int> q(4);
+    constexpr int kConsumers = 4;
+    std::atomic<int> emptyPops{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            int v = 0;
+            if (!q.pop(v))
+                ++emptyPops;
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    for (auto &t : consumers)
+        t.join(); // must not deadlock
+    EXPECT_EQ(emptyPops.load(), kConsumers);
+}
+
+TEST(BoundedQueue, ShutdownStressManyProducersConsumers)
+{
+    // Hammer push/pop/close from many threads; run under
+    // ThreadSanitizer in CI. Every item pushed before close must be
+    // popped exactly once, and nothing may deadlock.
+    BoundedQueue<int> q(2);
+    constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+    std::atomic<long long> pushedSum{0}, poppedSum{0};
+    std::atomic<int> pushed{0}, popped{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int v = p * kPerProducer + i;
+                if (!q.push(v))
+                    return; // closed under us: fine
+                pushedSum += v;
+                ++pushed;
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            int v = 0;
+            while (q.pop(v)) {
+                poppedSum += v;
+                ++popped;
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.close();
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(popped.load(), pushed.load());
+    EXPECT_EQ(poppedSum.load(), pushedSum.load());
 }
 
 // --------------------------------------------------------------------
@@ -391,6 +477,30 @@ TEST(HintStore, RollbackRepublishesUnderFreshEpoch)
     EXPECT_EQ(store.epoch(), 3u); // epochs never reuse numbers
     EXPECT_EQ(store.current()->bundle.hints.size(), 1u);
     EXPECT_EQ(store.rollbacks(), 1u);
+}
+
+TEST(HintStore, RollbackOnEmptyOrSingleGenerationIsCleanError)
+{
+    // Rolling back past epoch 0 must be a clean refusal, never an
+    // out-of-bounds history access.
+    HintStore empty;
+    EXPECT_FALSE(empty.rollback());
+    EXPECT_EQ(empty.rollbacks(), 0u);
+    EXPECT_EQ(empty.epoch(), 0u);
+
+    // With exactly one generation there is no earlier payload either
+    // (epoch 0 is "no hints", not a generation).
+    HintStore store;
+    HintBundle only;
+    only.hints.resize(5);
+    ASSERT_TRUE(store.propose(only, 0.9, 0.5));
+    EXPECT_FALSE(store.rollback());
+    EXPECT_EQ(store.rollbacks(), 0u);
+    EXPECT_EQ(store.epoch(), 1u);
+    EXPECT_EQ(store.current()->bundle.hints.size(), 5u);
+    // Repeated attempts stay clean and change nothing.
+    EXPECT_FALSE(store.rollback());
+    EXPECT_EQ(store.generations(), 1u);
 }
 
 TEST(HintStore, ReadersSurviveConcurrentSwaps)

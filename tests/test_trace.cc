@@ -131,7 +131,7 @@ TEST(BranchTrace, SaveLoadRoundTrip)
     ASSERT_TRUE(trace.save(path));
 
     BranchTrace loaded;
-    ASSERT_TRUE(loaded.load(path));
+    ASSERT_TRUE(loaded.load(path).ok());
     ASSERT_EQ(loaded.size(), trace.size());
     EXPECT_EQ(loaded.app(), "roundtrip");
     EXPECT_EQ(loaded.inputId(), 7u);
@@ -153,7 +153,7 @@ TEST(BranchTrace, LoadRejectsGarbage)
     std::fputs("not a trace", f);
     std::fclose(f);
     BranchTrace t;
-    EXPECT_FALSE(t.load(path));
+    EXPECT_TRUE(t.load(path).corrupt());
     std::remove(path.c_str());
 }
 

@@ -4,10 +4,24 @@
 # drift), train across several epochs with validated deployment, and
 # check that the final online bundle is no worse than a static
 # single-shot whisper_train bundle on the drifted input.
+#
+# The deployment history is written through the crash-safe hint-store
+# journal. In the default mode a second whisperd is killed (-9)
+# mid-run, the journal tail is torn, and a restarted daemon must
+# resume from the last durable epoch. With
+#   whisperd_demo.sh BIN_DIR --fault-spec SPEC
+# the main run instead executes under the deterministic
+# fault-injection harness and must still complete with a deployed
+# bundle whose MPKI is no worse than the TAGE-SC-L baseline.
 set -e
 
 BIN_DIR="$1"
+FAULT_SPEC=""
+if [ "$2" = "--fault-spec" ]; then
+    FAULT_SPEC="$3"
+fi
 WORK_DIR="${TMPDIR:-/tmp}/whisperd_demo_$$"
+JOURNAL="$WORK_DIR/hints.journal"
 mkdir -p "$WORK_DIR/chunks"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
@@ -25,15 +39,56 @@ trap 'rm -rf "$WORK_DIR"' EXIT
     --trace "$WORK_DIR/chunks/000_kafka_i0.whrt" \
     --out "$WORK_DIR/static.hints" > /dev/null
 
+if [ -n "$FAULT_SPEC" ]; then
+    # Fault mode: run the whole pipeline under injected faults. It
+    # must degrade gracefully, not crash, and still beat the
+    # baseline predictor on the held-out trace.
+    "$BIN_DIR/whisperd" --chunks "$WORK_DIR/chunks" \
+        --out "$WORK_DIR/online.vhints" \
+        --journal "$JOURNAL" \
+        --fault-spec "$FAULT_SPEC" --deadline-ms 200 \
+        --chunk-records 40000 --epoch-chunks 3 \
+        --workers 4 --shards 2 --max-hard 256 \
+        --eval-trace "$WORK_DIR/eval_i1.whrt" \
+        > "$WORK_DIR/whisperd.txt" 2>&1
+    cat "$WORK_DIR/whisperd.txt"
+
+    grep -q "fault injection armed" "$WORK_DIR/whisperd.txt"
+    grep -q "deployed bundle (epoch" "$WORK_DIR/whisperd.txt"
+    # The armed faults must actually have fired: the fault metric
+    # line has to report at least one nonzero counter.
+    FAULT_SUM=$(sed -n 's/^whisperd: faults //p' \
+        "$WORK_DIR/whisperd.txt" |
+        tr ' ' '\n' | sed -n 's/.*=\([0-9]*\)$/\1/p' |
+        awk '{s += $1} END {print s}')
+    [ "$FAULT_SUM" -ge 1 ]
+    # Graceful degradation: the deployed bundle's MPKI may not be
+    # worse than plain TAGE-SC-L on the held-out trace.
+    TAGE_MPKI=$(sed -n 's/.*tage accuracy=.*mpki=\([0-9.]*\)/\1/p' \
+        "$WORK_DIR/whisperd.txt")
+    ONLINE_MPKI=$(sed -n \
+        's/.*online-whisper accuracy=.*mpki=\([0-9.]*\)/\1/p' \
+        "$WORK_DIR/whisperd.txt")
+    awk -v tage="$TAGE_MPKI" -v online="$ONLINE_MPKI" \
+        'BEGIN { exit !(online <= tage + 0.001) }'
+
+    echo "whisperd fault demo OK (faults fired: $FAULT_SUM," \
+        "online mpki $ONLINE_MPKI <= tage mpki $TAGE_MPKI)"
+    exit 0
+fi
+
 "$BIN_DIR/whisperd" --chunks "$WORK_DIR/chunks" \
     --out "$WORK_DIR/online.vhints" \
+    --journal "$JOURNAL" \
     --chunk-records 40000 --epoch-chunks 3 \
     --workers 4 --shards 2 --max-hard 256 \
     --eval-trace "$WORK_DIR/eval_i1.whrt" \
     --compare-hints "$WORK_DIR/static.hints" \
-    > "$WORK_DIR/whisperd.txt"
+    > "$WORK_DIR/whisperd.txt" 2>&1
 cat "$WORK_DIR/whisperd.txt"
 
+# A fresh journal starts empty: resume from epoch 0.
+grep -q "resumed from journal at epoch 0" "$WORK_DIR/whisperd.txt"
 # At least two training epochs ran...
 EPOCHS=$(sed -n 's/^whisperd: epochs=\([0-9]*\).*/\1/p' \
     "$WORK_DIR/whisperd.txt")
@@ -49,4 +104,54 @@ grep -q "whisperd service metrics" "$WORK_DIR/whisperd.txt"
 # drifted input (the continuous-PGO payoff).
 grep -q "online wins or ties" "$WORK_DIR/whisperd.txt"
 
-echo "whisperd demo OK"
+# Crash-recovery phase: rerun on the same journal, kill -9 the
+# daemon mid-run, tear the journal tail, and check the restarted
+# daemon resumes from the last durable epoch instead of epoch 0.
+"$BIN_DIR/whisperd" --chunks "$WORK_DIR/chunks" \
+    --out "$WORK_DIR/online2.vhints" \
+    --journal "$JOURNAL" \
+    --chunk-records 40000 --epoch-chunks 3 \
+    --workers 4 --shards 2 --max-hard 256 \
+    > "$WORK_DIR/whisperd_bg.txt" 2>&1 &
+BG_PID=$!
+i=0
+while [ "$i" -lt 300 ]; do
+    if grep -q "ACCEPTED (deployed epoch" "$WORK_DIR/whisperd_bg.txt"
+    then
+        break
+    fi
+    kill -0 "$BG_PID" 2> /dev/null || break
+    sleep 0.2
+    i=$((i + 1))
+done
+kill -9 "$BG_PID" 2> /dev/null || true
+wait "$BG_PID" 2> /dev/null || true
+
+# Generations durable so far: phase-1 deployments plus whatever the
+# killed daemon managed to append. With at least two, tear the last
+# record so replay must discard it and fall back one epoch.
+BG_ACCEPTED=$(grep -c "ACCEPTED (deployed epoch" \
+    "$WORK_DIR/whisperd_bg.txt" || true)
+TOTAL_GENERATIONS=$((ACCEPTED + BG_ACCEPTED))
+if [ "$TOTAL_GENERATIONS" -ge 2 ]; then
+    truncate -s -3 "$JOURNAL"
+fi
+
+"$BIN_DIR/whisperd" --chunks "$WORK_DIR/chunks" \
+    --out "$WORK_DIR/online3.vhints" \
+    --journal "$JOURNAL" \
+    --chunk-records 40000 --epoch-chunks 3 \
+    --workers 4 --shards 2 --max-hard 256 \
+    > "$WORK_DIR/whisperd_restart.txt" 2>&1
+cat "$WORK_DIR/whisperd_restart.txt"
+
+RESUMED=$(sed -n \
+    's/^whisperd: resumed from journal at epoch \([0-9]*\).*/\1/p' \
+    "$WORK_DIR/whisperd_restart.txt" | head -n 1)
+[ "$RESUMED" -ge 1 ]
+FINAL_EPOCH=$(sed -n 's/.*deployed-epoch=\([0-9]*\).*/\1/p' \
+    "$WORK_DIR/whisperd_restart.txt")
+[ "$FINAL_EPOCH" -ge "$RESUMED" ]
+
+echo "whisperd demo OK (crash recovery resumed at epoch $RESUMED," \
+    "final deployed epoch $FINAL_EPOCH)"

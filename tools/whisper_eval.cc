@@ -99,18 +99,17 @@ main(int argc, char **argv)
         usage();
 
     BranchTrace trace;
-    if (!trace.load(tracePath)) {
-        std::fprintf(stderr, "error: cannot load %s\n",
-                     tracePath.c_str());
+    if (IoStatus st = trace.load(tracePath); !st) {
+        std::fprintf(stderr, "error: %s\n", st.message.c_str());
         return 1;
     }
 
     HintBundle bundle;
     bool haveHints = false;
     if (!hintsPath.empty()) {
-        if (!loadHintBundle(bundle, hintsPath)) {
-            std::fprintf(stderr, "error: cannot load %s\n",
-                         hintsPath.c_str());
+        if (IoStatus st = loadHintBundle(bundle, hintsPath);
+            !st) {
+            std::fprintf(stderr, "error: %s\n", st.message.c_str());
             return 1;
         }
         haveHints = true;
@@ -144,9 +143,10 @@ main(int argc, char **argv)
                 std::exit(2);
             }
             BranchProfile profile;
-            if (!loadProfile(profile, profilePath)) {
-                std::fprintf(stderr, "error: cannot load %s\n",
-                             profilePath.c_str());
+            if (IoStatus st = loadProfile(profile, profilePath);
+                !st) {
+                std::fprintf(stderr, "error: %s\n",
+                             st.message.c_str());
                 std::exit(1);
             }
             return std::make_unique<StaticProfilePredictor>(profile);

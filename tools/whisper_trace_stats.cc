@@ -51,8 +51,8 @@ main(int argc, char **argv)
         topN = std::strtoull(argv[3], nullptr, 10);
 
     BranchTrace trace;
-    if (!trace.load(argv[1])) {
-        std::fprintf(stderr, "error: cannot load %s\n", argv[1]);
+    if (IoStatus st = trace.load(argv[1]); !st) {
+        std::fprintf(stderr, "error: %s\n", st.message.c_str());
         return 1;
     }
 

@@ -82,9 +82,8 @@ main(int argc, char **argv)
         usage();
 
     BranchTrace trace;
-    if (!trace.load(tracePath)) {
-        std::fprintf(stderr, "error: cannot load %s\n",
-                     tracePath.c_str());
+    if (IoStatus st = trace.load(tracePath); !st) {
+        std::fprintf(stderr, "error: %s\n", st.message.c_str());
         return 1;
     }
     std::printf("profiling %zu records under a %uKB TAGE-SC-L...\n",

@@ -13,7 +13,14 @@
  *   whisperd --chunks DIR --out FILE [--chunk-records N]
  *            [--epoch-chunks N] [--workers N] [--shards N]
  *            [--tage-kb N] [--max-hard N] [--margin F]
+ *            [--journal FILE] [--fault-spec SPEC]
+ *            [--deadline-ms N] [--max-attempts N]
  *            [--eval-trace FILE] [--compare-hints FILE] [--quiet]
+ *
+ * With --journal the deployed-generation history is written through
+ * a crash-safe write-ahead journal; a restarted daemon replays it
+ * and resumes from the last durable epoch. --fault-spec installs the
+ * deterministic fault-injection harness (see fault_injection.hh).
  */
 
 #include <cstdio>
@@ -22,6 +29,7 @@
 #include <string>
 
 #include "core/whisper_io.hh"
+#include "service/fault_injection.hh"
 #include "service/whisperd.hh"
 #include "sim/experiment.hh"
 #include "trace/branch_trace.hh"
@@ -51,6 +59,14 @@ usage()
         "  --fraction F         randomized-testing fraction\n"
         "  --margin F           acceptance accuracy margin "
         "(default 0)\n"
+        "  --journal FILE       crash-safe deployment journal "
+        "(resume on restart)\n"
+        "  --fault-spec SPEC    deterministic fault injection "
+        "(e.g. flip-chunks=0.01,stall-worker)\n"
+        "  --deadline-ms N      training task deadline before "
+        "requeue (default 30000)\n"
+        "  --max-attempts N     training attempts before a branch "
+        "is degraded (default 3)\n"
         "  --eval-trace FILE    evaluate the deployed bundle on a "
         "trace\n"
         "  --compare-hints FILE also evaluate a static bundle on it\n"
@@ -84,6 +100,7 @@ int
 main(int argc, char **argv)
 {
     std::string chunkDir, outPath, evalPath, comparePath;
+    std::string faultSpec;
     WhisperdConfig cfg;
     double fraction = -1.0;
 
@@ -117,6 +134,16 @@ main(int argc, char **argv)
             fraction = std::atof(next());
         else if (arg == "--margin")
             cfg.acceptMargin = std::atof(next());
+        else if (arg == "--journal")
+            cfg.journalPath = next();
+        else if (arg == "--fault-spec")
+            faultSpec = next();
+        else if (arg == "--deadline-ms")
+            cfg.trainTaskDeadlineMs =
+                static_cast<uint64_t>(std::strtoull(next(), nullptr, 10));
+        else if (arg == "--max-attempts")
+            cfg.trainMaxAttempts =
+                static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--eval-trace")
             evalPath = next();
         else if (arg == "--compare-hints")
@@ -130,6 +157,16 @@ main(int argc, char **argv)
         usage();
     if (fraction > 0)
         cfg.whisper.formulaFraction = fraction;
+    if (!faultSpec.empty()) {
+        std::string error;
+        if (!FaultInjector::instance().configure(faultSpec, &error)) {
+            std::fprintf(stderr, "error: bad --fault-spec: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        std::printf("whisperd: fault injection armed: %s\n",
+                    faultSpec.c_str());
+    }
     if (ChunkIngestor::listTraceFiles(chunkDir).empty()) {
         std::fprintf(stderr, "error: no .whrt files in %s\n",
                      chunkDir.c_str());
@@ -142,6 +179,14 @@ main(int argc, char **argv)
                 cfg.trainWorkers, cfg.profileShards);
 
     Whisperd daemon(cfg, globalTruthTables());
+    if (!cfg.journalPath.empty()) {
+        std::printf(
+            "whisperd: resumed from journal at epoch %llu "
+            "(%llu generations)\n",
+            static_cast<unsigned long long>(daemon.resumedEpoch()),
+            static_cast<unsigned long long>(
+                daemon.recoveredGenerations()));
+    }
     daemon.run(chunkDir);
 
     const HintStore &store = daemon.store();
@@ -151,6 +196,18 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(store.accepted()),
                 static_cast<unsigned long long>(store.rejected()),
                 static_cast<unsigned long long>(store.epoch()));
+    const ServiceMetrics &sm = daemon.metrics();
+    std::printf(
+        "whisperd: faults skipped-chunks=%llu skipped-records=%llu "
+        "retries=%llu requeued-tasks=%llu degraded-branches=%llu "
+        "torn-writes=%llu workers-died=%llu\n",
+        static_cast<unsigned long long>(sm.chunksSkipped),
+        static_cast<unsigned long long>(sm.recordsSkipped),
+        static_cast<unsigned long long>(sm.readRetries),
+        static_cast<unsigned long long>(sm.tasksRequeued),
+        static_cast<unsigned long long>(sm.branchesDegraded),
+        static_cast<unsigned long long>(sm.journalAppendFailures),
+        static_cast<unsigned long long>(sm.workersDied));
     daemon.metrics().report(std::cout);
 
     HintStore::Snapshot deployed = store.current();
@@ -173,9 +230,8 @@ main(int argc, char **argv)
         return 0;
 
     BranchTrace evalTrace;
-    if (!evalTrace.load(evalPath)) {
-        std::fprintf(stderr, "error: cannot load %s\n",
-                     evalPath.c_str());
+    if (IoStatus st = evalTrace.load(evalPath); !st) {
+        std::fprintf(stderr, "error: %s\n", st.message.c_str());
         return 1;
     }
 
@@ -193,9 +249,9 @@ main(int argc, char **argv)
 
     if (!comparePath.empty()) {
         HintBundle staticBundle;
-        if (!loadHintBundle(staticBundle, comparePath)) {
-            std::fprintf(stderr, "error: cannot load %s\n",
-                         comparePath.c_str());
+        if (IoStatus st = loadHintBundle(staticBundle, comparePath);
+            !st) {
+            std::fprintf(stderr, "error: %s\n", st.message.c_str());
             return 1;
         }
         double staticMpki = 0.0;
