@@ -17,6 +17,7 @@
 #include "service/hint_store.hh"
 #include "service/training_pool.hh"
 #include "sim/runner.hh"
+#include "sim/sharded_runner.hh"
 
 using namespace whisper;
 using namespace whisper::bench;
@@ -135,18 +136,24 @@ main()
     AdaptiveRunStats online = runPredictorAdaptive(
         onlineSource, consultant.predictor(), window, onEpoch);
 
-    // References over the same stream, cut at the same windows.
-    ChunkSource tageSource(stream);
+    // References over the same stream, cut at the same windows,
+    // evaluated on the shard-parallel engine. Full-prefix warm-up
+    // keeps the numbers bit-identical to the serial adaptive runner
+    // (no predictor swaps happen in these runs) while the epochs
+    // spread across WHISPER_BENCH_JOBS worker threads.
+    ShardedRunConfig shardCfg = benchShardConfig(window);
     std::unique_ptr<BranchPredictor> tage =
         makeTage(cfg.tageBudgetKB);
-    AdaptiveRunStats tageRun = runPredictorAdaptive(
-        tageSource, *tage, window, [](uint64_t) { return nullptr; });
+    AdaptiveShardedRunStats tageSharded =
+        runPredictorAdaptiveSharded(stream, *tage, window, nullptr,
+                                    shardCfg);
+    const AdaptiveRunStats &tageRun = tageSharded.stats;
 
-    ChunkSource staticSource(stream);
     auto staticPred = makeWhisperPredictor(cfg, staticBuild);
-    AdaptiveRunStats staticRun = runPredictorAdaptive(
-        staticSource, *staticPred, window,
-        [](uint64_t) { return nullptr; });
+    AdaptiveShardedRunStats staticSharded =
+        runPredictorAdaptiveSharded(stream, *staticPred, window,
+                                    nullptr, shardCfg);
+    const AdaptiveRunStats &staticRun = staticSharded.stats;
 
     TableReporter table("per-epoch MPKI over the drift stream "
                         "(inputs #0 -> #1 at the midpoint)");
@@ -177,5 +184,19 @@ main()
                 100.0 * tageRun.total.accuracy(),
                 100.0 * staticRun.total.accuracy(),
                 100.0 * online.total.accuracy());
+
+    auto timingLine = [](const char *label,
+                         const ShardedRunTiming &t) {
+        double busy = 0.0;
+        for (const auto &s : t.perShard)
+            busy += s.warmSeconds + s.evalSeconds;
+        std::printf("%s: jobs=%u shards=%zu wall-seconds=%.3f "
+                    "cpu-seconds=%.3f\n",
+                    label, t.jobs, t.perShard.size(),
+                    t.wallSeconds, busy);
+    };
+    std::printf("\nreference-run shard timing (full-prefix warm):\n");
+    timingLine("  tage", tageSharded.timing);
+    timingLine("  static-whisper", staticSharded.timing);
     return 0;
 }

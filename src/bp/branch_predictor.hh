@@ -7,6 +7,7 @@
 #define WHISPER_BP_BRANCH_PREDICTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "trace/branch_record.hh"
@@ -57,6 +58,16 @@ class BranchPredictor
      * predecessor blocks. Default: no-op.
      */
     virtual void onRecord(const BranchRecord &rec) { (void)rec; }
+
+    /**
+     * Deep-copy this predictor, including all learned tables,
+     * history registers, and in-flight prediction context, so the
+     * copy's future predict/update sequence is bit-identical to the
+     * original's. The sharded trace runner clones one prototype per
+     * evaluation window; clones share only immutable data (e.g. the
+     * truth-table cache) and are safe to drive from separate threads.
+     */
+    virtual std::unique_ptr<BranchPredictor> clone() const = 0;
 
     /** Human-readable name for reports. */
     virtual std::string name() const = 0;

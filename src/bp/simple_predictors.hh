@@ -25,6 +25,11 @@ class StaticPredictor : public BranchPredictor
 
     bool predict(uint64_t, bool) override { return taken_; }
     void update(uint64_t, bool, bool, bool) override {}
+    std::unique_ptr<BranchPredictor>
+    clone() const override
+    {
+        return std::make_unique<StaticPredictor>(*this);
+    }
     std::string name() const override { return "static"; }
     void reset() override {}
 
@@ -44,6 +49,11 @@ class IdealPredictor : public BranchPredictor
         return oracleTaken;
     }
     void update(uint64_t, bool, bool, bool) override {}
+    std::unique_ptr<BranchPredictor>
+    clone() const override
+    {
+        return std::make_unique<IdealPredictor>(*this);
+    }
     std::string name() const override { return "ideal"; }
     void reset() override {}
 };
@@ -58,6 +68,11 @@ class BimodalPredictor : public BranchPredictor
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    std::unique_ptr<BranchPredictor>
+    clone() const override
+    {
+        return std::make_unique<BimodalPredictor>(*this);
+    }
     std::string name() const override { return "bimodal"; }
     void reset() override;
     uint64_t storageBits() const override { return table_.size() * 2; }
@@ -82,6 +97,11 @@ class GsharePredictor : public BranchPredictor
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    std::unique_ptr<BranchPredictor>
+    clone() const override
+    {
+        return std::make_unique<GsharePredictor>(*this);
+    }
     std::string name() const override { return "gshare"; }
     void reset() override;
     uint64_t storageBits() const override { return table_.size() * 2; }

@@ -60,6 +60,13 @@ class TageScl : public BranchPredictor
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    /** Deep copy: every table, folded-history view, LFSR and tick
+     * state is value-copied, so clone-then-run is bit-identical. */
+    std::unique_ptr<BranchPredictor>
+    clone() const override
+    {
+        return std::make_unique<TageScl>(*this);
+    }
     std::string name() const override;
     void reset() override;
     uint64_t storageBits() const override;

@@ -16,6 +16,17 @@ BranchNetPredictor::BranchNetPredictor(
         byPc_[models_[i].pc] = i;
 }
 
+BranchNetPredictor::BranchNetPredictor(
+    const BranchNetPredictor &other)
+    : base_(other.base_->clone()), models_(other.models_),
+      byPc_(other.byPc_), label_(other.label_),
+      history_(other.history_), usedCnn_(other.usedCnn_),
+      basePred_(other.basePred_),
+      cnnPredictions_(other.cnnPredictions_),
+      cnnCorrect_(other.cnnCorrect_)
+{
+}
+
 std::string
 BranchNetPredictor::name() const
 {

@@ -10,6 +10,31 @@ HintBuffer::HintBuffer(unsigned entries) : capacity_(entries)
     whisper_assert(entries >= 1);
 }
 
+HintBuffer::HintBuffer(const HintBuffer &other)
+    : capacity_(other.capacity_), lru_(other.lru_),
+      hits_(other.hits_), misses_(other.misses_),
+      insertions_(other.insertions_), evictions_(other.evictions_)
+{
+    for (auto it = lru_.begin(); it != lru_.end(); ++it)
+        map_[it->pc] = it;
+}
+
+HintBuffer &
+HintBuffer::operator=(const HintBuffer &other)
+{
+    if (this == &other)
+        return *this;
+    HintBuffer copy(other);
+    capacity_ = copy.capacity_;
+    lru_ = std::move(copy.lru_);
+    map_ = std::move(copy.map_);
+    hits_ = copy.hits_;
+    misses_ = copy.misses_;
+    insertions_ = copy.insertions_;
+    evictions_ = copy.evictions_;
+    return *this;
+}
+
 void
 HintBuffer::insert(uint64_t branchPc, const BrHint &hint)
 {

@@ -27,6 +27,14 @@ class HintBuffer
   public:
     explicit HintBuffer(unsigned entries = 32);
 
+    /** Copying preserves contents, LRU order, and counters; the
+     * PC-to-node index is rebuilt so it points into the copy's own
+     * list (a memberwise copy would alias the source's nodes). */
+    HintBuffer(const HintBuffer &other);
+    HintBuffer &operator=(const HintBuffer &other);
+    HintBuffer(HintBuffer &&) = default;
+    HintBuffer &operator=(HintBuffer &&) = default;
+
     /** Install a hint (brhint executed); LRU-evicts when full. */
     void insert(uint64_t branchPc, const BrHint &hint);
 

@@ -24,6 +24,18 @@ WhisperPredictor::WhisperPredictor(
     replaceHints(hints, placements);
 }
 
+WhisperPredictor::WhisperPredictor(const WhisperPredictor &other)
+    : base_(other.base_->clone()), cfg_(other.cfg_),
+      cache_(other.cache_), lengths_(other.lengths_),
+      hints_(other.hints_), triggers_(other.triggers_),
+      buffer_(other.buffer_), history_(other.history_),
+      usedHint_(other.usedHint_), basePred_(other.basePred_),
+      hintPredictions_(other.hintPredictions_),
+      hintCorrect_(other.hintCorrect_),
+      dynamicHints_(other.dynamicHints_)
+{
+}
+
 void
 WhisperPredictor::replaceHints(
     const std::vector<TrainedHint> &hints,

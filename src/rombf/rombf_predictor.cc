@@ -16,6 +16,16 @@ RombfPredictor::RombfPredictor(std::unique_ptr<BranchPredictor> base,
         hints_[h.pc] = Annotation{h.tableIdx, h.biasTaken};
 }
 
+RombfPredictor::RombfPredictor(const RombfPredictor &other)
+    : base_(other.base_->clone()), enum_(other.enum_),
+      histLen_(other.histLen_), hints_(other.hints_),
+      history_(other.history_), usedHint_(other.usedHint_),
+      basePred_(other.basePred_),
+      hintPredictions_(other.hintPredictions_),
+      hintCorrect_(other.hintCorrect_)
+{
+}
+
 std::string
 RombfPredictor::name() const
 {

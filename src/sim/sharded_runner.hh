@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shard-parallel variant of the predictor-only trace driver.
+ *
+ * The branch stream is cut into fixed-record windows that a pool of
+ * worker threads evaluates independently: each worker clones the
+ * prototype predictor, warms the clone by replaying a prefix of the
+ * stream (predict/update/onRecord, nothing counted), then evaluates
+ * its window and writes the window's PredictorRunStats into a
+ * pre-sized slot. Windows are claimed from a shared atomic cursor
+ * (work stealing, as in service/TrainingPool) and merged in window
+ * order, so the merged statistics depend only on the stream and the
+ * configuration — never on thread timing or the job count.
+ *
+ * Two warm-up regimes:
+ *
+ *  - kFullPrefix (default): every window replays the entire stream
+ *    prefix before it. The clone's state at window start is then
+ *    *exactly* the serial runner's state at the same record, so the
+ *    merged stats are bit-identical to runPredictor for any window
+ *    size and any job count. Total work grows to ~W/2 times the
+ *    serial run, so wall-clock only breaks even; use this mode when
+ *    exactness matters more than speed (differential testing,
+ *    regression goldens).
+ *
+ *  - bounded (warmupRecords = K): each window replays only the K
+ *    records before it. Total work is W*(K + window) regardless of
+ *    job count, so N jobs give a ~N-fold wall-clock speedup. The
+ *    cross-window predictor state is approximated, but the
+ *    approximation is the same every run: results remain
+ *    bit-reproducible and independent of the job count.
+ */
+
+#ifndef WHISPER_SIM_SHARDED_RUNNER_HH
+#define WHISPER_SIM_SHARDED_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bp/branch_predictor.hh"
+#include "sim/runner.hh"
+#include "trace/branch_trace.hh"
+
+namespace whisper
+{
+
+/** Knobs of a sharded run. */
+struct ShardedRunConfig
+{
+    /** warmupRecords value selecting exact full-prefix warm-up. */
+    static constexpr uint64_t kFullPrefix = ~0ULL;
+
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 1;
+    /** Records per evaluation window (shard granularity). */
+    uint64_t windowRecords = 1'000'000;
+    /** Records replayed to warm each window's clone; kFullPrefix
+     * replays everything before the window (exact mode). */
+    uint64_t warmupRecords = kFullPrefix;
+    /** Fraction of the stream's instructions excluded from the
+     * statistics, exactly as runPredictor's warmupFraction. */
+    double statsWarmupFraction = 0.0;
+};
+
+/** Wall-clock timing of one evaluated window. Timing is reporting
+ * only: it never feeds the statistics merge, so repeated runs give
+ * bit-identical stats regardless of clocks or scheduling. */
+struct ShardTiming
+{
+    uint64_t window = 0;       //!< window index
+    uint64_t firstRecord = 0;  //!< stream offset of the window
+    uint64_t records = 0;      //!< records evaluated
+    uint64_t warmRecords = 0;  //!< records replayed for warm-up
+    unsigned worker = 0;       //!< pool thread that ran it
+    double warmSeconds = 0.0;
+    double evalSeconds = 0.0;
+};
+
+/** Timing block of a whole sharded run. */
+struct ShardedRunTiming
+{
+    double wallSeconds = 0.0;  //!< submit-to-merge wall clock
+    unsigned jobs = 0;         //!< workers actually used
+    std::vector<ShardTiming> perShard; //!< in window order
+};
+
+/** Result of runPredictorSharded. */
+struct ShardedRunStats
+{
+    PredictorRunStats total;   //!< merged in window order
+    std::vector<PredictorRunStats> perWindow;
+    ShardedRunTiming timing;
+};
+
+/**
+ * Shard-parallel equivalent of runPredictor over a materialized
+ * record array. @p prototype is cloned once per window and must not
+ * be mutated while the run is in flight; it is left untouched.
+ */
+ShardedRunStats runPredictorSharded(const BranchRecord *records,
+                                    size_t count,
+                                    const BranchPredictor &prototype,
+                                    const ShardedRunConfig &cfg
+                                    = ShardedRunConfig{});
+
+/** Convenience overload over a BranchTrace. */
+ShardedRunStats runPredictorSharded(const BranchTrace &trace,
+                                    const BranchPredictor &prototype,
+                                    const ShardedRunConfig &cfg
+                                    = ShardedRunConfig{});
+
+/** Convenience overload over a record vector. */
+ShardedRunStats runPredictorSharded(
+    const std::vector<BranchRecord> &records,
+    const BranchPredictor &prototype,
+    const ShardedRunConfig &cfg = ShardedRunConfig{});
+
+/** Result of runPredictorAdaptiveSharded. */
+struct AdaptiveShardedRunStats
+{
+    AdaptiveRunStats stats;    //!< same shape as the serial runner
+    ShardedRunTiming timing;
+};
+
+/**
+ * Shard-parallel equivalent of runPredictorAdaptive: the epochs are
+ * the windows. The @p refresh hook is consulted serially, in epoch
+ * order and with the same arguments as the serial runner (so the
+ * whisperd training pipeline plugs in unchanged); the predictor
+ * assigned to each epoch is cloned at that point and the epoch
+ * evaluations then run on the pool, each clone warmed per @p cfg
+ * (cfg.windowRecords is ignored — @p recordsPerEpoch cuts the
+ * stream; cfg.statsWarmupFraction is ignored — the adaptive runner
+ * counts every record, like runPredictorAdaptive).
+ *
+ * With full-prefix warm-up and a refresh that never swaps, the
+ * result is bit-identical to runPredictorAdaptive. With swaps, each
+ * epoch's clone is warmed on the prefix *as that predictor*, which
+ * approximates the serial carry-over state deterministically.
+ */
+AdaptiveShardedRunStats runPredictorAdaptiveSharded(
+    const BranchRecord *records, size_t count,
+    BranchPredictor &initial, uint64_t recordsPerEpoch,
+    const std::function<BranchPredictor *(uint64_t nextEpoch)>
+        &refresh,
+    const ShardedRunConfig &cfg = ShardedRunConfig{});
+
+/** Convenience overload over a record vector. */
+AdaptiveShardedRunStats runPredictorAdaptiveSharded(
+    const std::vector<BranchRecord> &records,
+    BranchPredictor &initial, uint64_t recordsPerEpoch,
+    const std::function<BranchPredictor *(uint64_t nextEpoch)>
+        &refresh,
+    const ShardedRunConfig &cfg = ShardedRunConfig{});
+
+} // namespace whisper
+
+#endif // WHISPER_SIM_SHARDED_RUNNER_HH

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Timing smoke for the shard-parallel engine: with bounded warm-up
+# the total work is independent of the job count, so --jobs 4 must
+# finish within a scheduling-noise tolerance of --jobs 1 on any
+# machine, and faster on multi-core ones. Also checks that the two
+# runs report identical mispredict counts (job-count determinism at
+# the CLI level).
+set -e
+
+BIN_DIR="$1"
+WORK_DIR="${TMPDIR:-/tmp}/whisper_sim_speed_$$"
+mkdir -p "$WORK_DIR"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$BIN_DIR/whisper_trace_gen" --app kafka --input 0 \
+    --records 400000 --out "$WORK_DIR/speed.whrt"
+
+# wall-seconds of the tage run from the shard-timing block; best of
+# two runs each so a single descheduling blip cannot fail the test.
+run_once() {
+    "$BIN_DIR/whisper_eval" --trace "$WORK_DIR/speed.whrt" \
+        --predictors tage --warmup 0.5 \
+        --jobs "$1" --window 50000 --shard-warmup 25000
+}
+
+best_wall() {
+    jobs="$1"
+    out="$WORK_DIR/eval_j$jobs.txt"
+    run_once "$jobs" > "$out"
+    w1=$(sed -n 's/.*wall-seconds=\([0-9.]*\).*/\1/p' "$out")
+    run_once "$jobs" > "$WORK_DIR/eval2_j$jobs.txt"
+    w2=$(sed -n 's/.*wall-seconds=\([0-9.]*\).*/\1/p' \
+        "$WORK_DIR/eval2_j$jobs.txt")
+    awk -v a="$w1" -v b="$w2" 'BEGIN { print (a < b ? a : b) }'
+}
+
+T1=$(best_wall 1)
+T4=$(best_wall 4)
+
+# Identical mispredict counts regardless of the job count.
+M1=$(awk '/tage-sc-l/ { print $NF }' "$WORK_DIR/eval_j1.txt" \
+    | head -1)
+M4=$(awk '/tage-sc-l/ { print $NF }' "$WORK_DIR/eval_j4.txt" \
+    | head -1)
+[ -n "$M1" ] && [ "$M1" = "$M4" ] || {
+    echo "FAIL: mispredicts differ across job counts: $M1 vs $M4"
+    exit 1
+}
+
+# 1.30x tolerance: on a single-core runner jobs=4 does the same
+# work with extra thread churn; on multi-core it should be well
+# under 1.0.
+awk -v t1="$T1" -v t4="$T4" 'BEGIN {
+    printf "jobs=1 wall=%.3fs  jobs=4 wall=%.3fs  ratio=%.2f\n", \
+        t1, t4, (t1 > 0 ? t4 / t1 : 0)
+    exit !(t4 <= t1 * 1.30 + 0.05)
+}'
+
+echo "sim speed smoke OK (mispredicts=$M1)"

@@ -9,6 +9,14 @@
  *   whisper_eval --trace mysql_i1.whrt [--hints mysql.hints]
  *                [--tage-kb 64] [--warmup 0.5] [--pipeline]
  *                [--predictors tage,whisper,mtage,ideal,gshare,...]
+ *                [--jobs N] [--window N] [--shard-warmup N|full]
+ *
+ * With --jobs the accuracy runs go through the shard-parallel
+ * engine (sim/sharded_runner): the trace is cut into --window-record
+ * shards evaluated on N worker threads, each shard's predictor clone
+ * warmed on the --shard-warmup records before it ("full" replays the
+ * whole prefix: bit-identical to the serial engine, but with no
+ * wall-clock win). A per-shard timing block follows the table.
  */
 
 #include <cstdio>
@@ -24,6 +32,7 @@
 #include "core/whisper_io.hh"
 #include "trace/branch_trace.hh"
 #include "sim/experiment.hh"
+#include "sim/sharded_runner.hh"
 #include "util/table.hh"
 
 using namespace whisper;
@@ -44,7 +53,13 @@ usage()
         "  --warmup F        stats warm-up fraction (default 0.5)\n"
         "  --pipeline        also run the timing model\n"
         "  --predictors LIST comma list of: tage, whisper, mtage,\n"
-        "                    ideal, gshare, bimodal, perceptron\n");
+        "                    ideal, gshare, bimodal, perceptron\n"
+        "  --jobs N          shard-parallel accuracy runs on N\n"
+        "                    worker threads (0 = all cores)\n"
+        "  --window N        records per shard (default 262144)\n"
+        "  --shard-warmup N  warm-prefix records per shard, or\n"
+        "                    'full' for the exact serial-equivalent\n"
+        "                    mode (default: half a window)\n");
     std::exit(2);
 }
 
@@ -69,6 +84,10 @@ main(int argc, char **argv)
     unsigned tageKb = 64;
     double warmup = 0.5;
     bool pipeline = false;
+    bool sharded = false;
+    ShardedRunConfig shardCfg;
+    shardCfg.windowRecords = 262'144;
+    bool shardWarmupSet = false;
     std::vector<std::string> predictors = {"tage"};
 
     for (int i = 1; i < argc; ++i) {
@@ -92,11 +111,30 @@ main(int argc, char **argv)
             pipeline = true;
         else if (arg == "--predictors")
             predictors = splitList(next());
-        else
+        else if (arg == "--jobs") {
+            sharded = true;
+            shardCfg.jobs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--window")
+            shardCfg.windowRecords =
+                static_cast<uint64_t>(std::atoll(next()));
+        else if (arg == "--shard-warmup") {
+            std::string v = next();
+            shardCfg.warmupRecords = v == "full"
+                ? ShardedRunConfig::kFullPrefix
+                : static_cast<uint64_t>(std::atoll(v.c_str()));
+            shardWarmupSet = true;
+        } else
             usage();
     }
     if (tracePath.empty())
         usage();
+    if (shardCfg.windowRecords == 0) {
+        std::fprintf(stderr, "error: --window must be positive\n");
+        return 2;
+    }
+    if (!shardWarmupSet)
+        shardCfg.warmupRecords = shardCfg.windowRecords / 2;
+    shardCfg.statsWarmupFraction = warmup;
 
     BranchTrace trace;
     if (IoStatus st = trace.load(tracePath); !st) {
@@ -175,10 +213,25 @@ main(int argc, char **argv)
         header.push_back("IPC");
     table.setHeader(header);
 
+    struct TimedRun
+    {
+        std::string predictor;
+        ShardedRunTiming timing;
+    };
+    std::vector<TimedRun> timedRuns;
+
     for (const auto &name : predictors) {
         auto pred = makeByName(name);
-        TraceSource src(trace);
-        auto stats = runPredictor(src, *pred, warmup);
+        PredictorRunStats stats;
+        if (sharded) {
+            auto run = runPredictorSharded(trace, *pred, shardCfg);
+            stats = run.total;
+            timedRuns.push_back({pred->name(),
+                                 std::move(run.timing)});
+        } else {
+            TraceSource src(trace);
+            stats = runPredictor(src, *pred, warmup);
+        }
         std::vector<std::string> row = {
             pred->name(), TableReporter::formatDouble(stats.mpki()),
             TableReporter::formatDouble(100.0 * stats.accuracy()),
@@ -193,5 +246,27 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     table.print();
+
+    if (sharded) {
+        // Per-shard timing block: the measurable side of the
+        // sharding; stats above never depend on these clocks.
+        for (const auto &run : timedRuns) {
+            std::printf("\nshard timing: %s  jobs=%u shards=%zu "
+                        "wall-seconds=%.3f\n",
+                        run.predictor.c_str(), run.timing.jobs,
+                        run.timing.perShard.size(),
+                        run.timing.wallSeconds);
+            for (const auto &s : run.timing.perShard)
+                std::printf("  shard %3llu: records=%llu "
+                            "warm=%llu worker=%u "
+                            "warm-s=%.3f eval-s=%.3f\n",
+                            static_cast<unsigned long long>(s.window),
+                            static_cast<unsigned long long>(
+                                s.records),
+                            static_cast<unsigned long long>(
+                                s.warmRecords),
+                            s.worker, s.warmSeconds, s.evalSeconds);
+        }
+    }
     return 0;
 }
