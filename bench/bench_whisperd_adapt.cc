@@ -2,19 +2,29 @@
  * @file
  * Continuous-PGO replay: whisperd's train/validate/deploy loop
  * running alongside an adaptive fleet simulation while the workload
- * drifts from kafka input #0 to input #1 mid-stream.
+ * drifts from kafka input #0 to input #1 mid-stream, followed by a
+ * mixed-fleet scenario where every data center app of Table I
+ * streams into one multi-tenant service at a different rate (kafka
+ * as a 10x noisy neighbor) under fair-share scheduling.
  *
  * Extends the paper's input-sensitivity result (Fig. 17): a static
  * bundle trained on input #0 degrades after the drift, while the
  * service retrains on recent chunks and redeploys through the
  * versioned hint store, so the fleet predictor follows the workload.
+ *
+ * Besides the usual tables, the run emits BENCH_whisperd.json with
+ * the headline numbers (service throughput in chunks/sec, epochs,
+ * per-app mispredict rates) for machine consumption.
  */
 
+#include <chrono>
+#include <map>
 #include <memory>
 
 #include "common.hh"
 #include "service/chunk_profiler.hh"
 #include "service/hint_store.hh"
+#include "service/tenant_router.hh"
 #include "service/training_pool.hh"
 #include "sim/runner.hh"
 #include "sim/sharded_runner.hh"
@@ -37,6 +47,103 @@ driftStream(const AppConfig &app, uint64_t perInput)
             records.push_back(rec);
     }
     return records;
+}
+
+/** One tenant's outcome in the mixed-fleet scenario. */
+struct FleetAppResult
+{
+    uint64_t chunks = 0;
+    uint64_t epochs = 0;
+    uint64_t accepted = 0;
+    uint64_t deployedEpoch = 0;
+    double mispredictRate = 0.0; //!< 1 - last validation accuracy
+};
+
+struct FleetRunResult
+{
+    uint64_t chunks = 0;
+    uint64_t records = 0;
+    uint64_t epochs = 0;
+    double wallSeconds = 0.0;
+    std::map<std::string, FleetAppResult> apps;
+};
+
+/**
+ * Mixed fleet: every data center app streams into one TenantRouter
+ * at its own rate — @p noisy gets 10x the chunks of everyone else —
+ * and the deficit-round-robin scheduler shares the training pool.
+ */
+FleetRunResult
+runMixedFleet(const ExperimentConfig &cfg, const std::string &noisy,
+              uint64_t chunkRecords, unsigned quietChunks)
+{
+    TenantRouterConfig tcfg;
+    tcfg.chunkRecords = chunkRecords;
+    tcfg.epochChunks = 2;
+    tcfg.trainWorkers = 2;
+    tcfg.tageBudgetKB = cfg.tageBudgetKB;
+    tcfg.profilePolicy.maxHardBranches = cfg.profile.maxHardBranches;
+    tcfg.whisper = cfg.whisper;
+    tcfg.injector = cfg.injector;
+    tcfg.verbose = false;
+    tcfg.defaultQuota.maxQueuedChunks = 64;
+    tcfg.defaultQuota.maxPendingTrainJobs = 64;
+
+    // Per-app chunk sequences, noisy neighbor at 10x.
+    std::map<std::string, std::vector<TraceChunk>> streams;
+    for (const AppConfig &app : dataCenterApps()) {
+        unsigned n =
+            app.name == noisy ? 10 * quietChunks : quietChunks;
+        AppWorkload workload(app, 0, chunkRecords * n);
+        std::vector<TraceChunk> chunks(n);
+        BranchRecord rec;
+        for (unsigned i = 0; i < n; ++i) {
+            chunks[i].app = app.name;
+            chunks[i].sequence = i;
+            chunks[i].records.reserve(chunkRecords);
+            while (chunks[i].records.size() < chunkRecords &&
+                   workload.next(rec))
+                chunks[i].records.push_back(rec);
+        }
+        streams[app.name] = std::move(chunks);
+    }
+
+    TenantRouter router(tcfg, globalTruthTables());
+    for (const auto &[app, chunks] : streams)
+        router.addTenant(app);
+
+    auto start = std::chrono::steady_clock::now();
+    router.start();
+    size_t maxLen = 0;
+    for (const auto &[app, chunks] : streams)
+        maxLen = std::max(maxLen, chunks.size());
+    for (size_t i = 0; i < maxLen; ++i) {
+        for (auto &[app, chunks] : streams) {
+            if (i < chunks.size())
+                router.offer(std::move(chunks[i]));
+        }
+    }
+    router.finish();
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    FleetRunResult result;
+    result.wallSeconds = wall;
+    ServiceMetrics metrics = router.metrics();
+    for (const auto &[app, tm] : metrics.tenants) {
+        FleetAppResult r;
+        r.chunks = tm.chunksRouted;
+        r.epochs = tm.epochsRun;
+        r.accepted = tm.bundlesAccepted;
+        r.deployedEpoch = tm.deployedEpoch;
+        r.mispredictRate = 1.0 - tm.lastValidationAccuracy;
+        result.chunks += tm.chunksRouted;
+        result.records += tm.recordsRouted;
+        result.epochs += tm.epochsRun;
+        result.apps[app] = r;
+    }
+    return result;
 }
 
 } // namespace
@@ -198,5 +305,96 @@ main()
     std::printf("\nreference-run shard timing (full-prefix warm):\n");
     timingLine("  tage", tageSharded.timing);
     timingLine("  static-whisper", staticSharded.timing);
+
+    // ---- mixed-fleet scenario: 12 tenants, one 10x noisy ----
+    const std::string noisy = "kafka";
+    const uint64_t fleetChunk = std::max<uint64_t>(
+        5'000, static_cast<uint64_t>(15'000 * scaleFactor()));
+    FleetRunResult fleet =
+        runMixedFleet(cfg, noisy, fleetChunk, 4);
+
+    TableReporter fleetTable(
+        "mixed fleet: 12 tenants, fair-share training (" + noisy +
+        " at 10x rate)");
+    fleetTable.setHeader({"app", "chunks", "epochs", "accepted",
+                          "deploy-epoch", "val-mispredict%"});
+    for (const auto &[app, r] : fleet.apps) {
+        fleetTable.addRow(
+            {app, std::to_string(r.chunks),
+             std::to_string(r.epochs), std::to_string(r.accepted),
+             std::to_string(r.deployedEpoch),
+             TableReporter::formatDouble(100.0 * r.mispredictRate,
+                                         3)});
+    }
+    fleetTable.print();
+
+    double chunksPerSec =
+        fleet.wallSeconds > 0.0 ? fleet.chunks / fleet.wallSeconds
+                                : 0.0;
+    std::printf("fleet: chunks=%llu records=%llu epochs=%llu "
+                "wall-seconds=%.3f chunks/sec=%.1f\n",
+                static_cast<unsigned long long>(fleet.chunks),
+                static_cast<unsigned long long>(fleet.records),
+                static_cast<unsigned long long>(fleet.epochs),
+                fleet.wallSeconds, chunksPerSec);
+
+    // ---- machine-readable summary ----
+    const char *jsonPath = "BENCH_whisperd.json";
+    if (std::FILE *f = std::fopen(jsonPath, "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"whisperd\",\n");
+        std::fprintf(f, "  \"scale\": %.3f,\n", scaleFactor());
+        std::fprintf(
+            f,
+            "  \"drift\": {\n"
+            "    \"epochs\": %zu,\n"
+            "    \"accepted\": %llu,\n"
+            "    \"rejected\": %llu,\n"
+            "    \"predictor_swaps\": %llu,\n"
+            "    \"tage_mpki\": %.6f,\n"
+            "    \"static_whisper_mpki\": %.6f,\n"
+            "    \"online_whisperd_mpki\": %.6f\n"
+            "  },\n",
+            online.perEpoch.size(),
+            static_cast<unsigned long long>(store.accepted()),
+            static_cast<unsigned long long>(store.rejected()),
+            static_cast<unsigned long long>(online.predictorSwaps),
+            tageRun.total.mpki(), staticRun.total.mpki(),
+            online.total.mpki());
+        std::fprintf(f,
+                     "  \"fleet\": {\n"
+                     "    \"tenants\": %zu,\n"
+                     "    \"noisy_tenant\": \"%s\",\n"
+                     "    \"chunks\": %llu,\n"
+                     "    \"records\": %llu,\n"
+                     "    \"epochs\": %llu,\n"
+                     "    \"wall_seconds\": %.3f,\n"
+                     "    \"chunks_per_sec\": %.2f,\n"
+                     "    \"apps\": {\n",
+                     fleet.apps.size(), noisy.c_str(),
+                     static_cast<unsigned long long>(fleet.chunks),
+                     static_cast<unsigned long long>(fleet.records),
+                     static_cast<unsigned long long>(fleet.epochs),
+                     fleet.wallSeconds, chunksPerSec);
+        size_t i = 0;
+        for (const auto &[app, r] : fleet.apps) {
+            std::fprintf(
+                f,
+                "      \"%s\": {\"chunks\": %llu, \"epochs\": "
+                "%llu, \"accepted\": %llu, \"deployed_epoch\": "
+                "%llu, \"mispredict_rate\": %.6f}%s\n",
+                app.c_str(),
+                static_cast<unsigned long long>(r.chunks),
+                static_cast<unsigned long long>(r.epochs),
+                static_cast<unsigned long long>(r.accepted),
+                static_cast<unsigned long long>(r.deployedEpoch),
+                r.mispredictRate,
+                ++i < fleet.apps.size() ? "," : "");
+        }
+        std::fprintf(f, "    }\n  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonPath);
+    } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", jsonPath);
+    }
     return 0;
 }

@@ -71,6 +71,24 @@ class BoundedQueue
         return true;
     }
 
+    /**
+     * Non-blocking push: enqueue only when there is room right now.
+     * @return false when the queue was full or closed (item
+     * dropped) — the quota-enforcement primitive of the multi-tenant
+     * router, where one tenant's backlog must never block the shared
+     * ingest path.
+     */
+    bool
+    tryPush(T item)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
     /** Non-blocking pop. @return false when nothing was available. */
     bool
     tryPop(T &out)

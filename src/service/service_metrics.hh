@@ -4,20 +4,67 @@
  * ingest throughput, training latency per epoch, bundle
  * acceptance, and the per-epoch validation-MPKI movement of the
  * deployed configuration.
+ *
+ * A multi-tenant service additionally reports one metrics row per
+ * application (ingested/dropped chunks, epochs, train latency,
+ * deployment state) plus an aggregate roll-up — the `tenants` map
+ * below, rendered by dump(). Every cell of every table is rendered
+ * explicitly, zeros included: a tenant that never trained prints
+ * "0", not a blank cell, so the tables stay machine-parseable when
+ * the per-tenant dimension makes them wide.
  */
 
 #ifndef WHISPER_SERVICE_SERVICE_METRICS_HH
 #define WHISPER_SERVICE_SERVICE_METRICS_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <ostream>
+#include <string>
 
 #include "util/stats.hh"
 #include "util/table.hh"
 
 namespace whisper
 {
+
+/** One tenant's slice of the service metrics (a value snapshot, so
+ * callers can hold it without racing the live counters). */
+struct TenantMetrics
+{
+    // -- ingest / routing --
+    uint64_t chunksRouted = 0;
+    uint64_t recordsRouted = 0;
+    uint64_t chunksDropped = 0;    //!< maxQueuedChunks quota breaches
+    uint64_t recordsDropped = 0;
+    uint64_t trainJobsDropped = 0; //!< maxPendingTrainJobs breaches
+
+    // -- training --
+    uint64_t epochsRun = 0;
+    double trainLatencyMean = 0.0; //!< seconds per epoch
+    double trainLatencyMax = 0.0;
+    double hintsPerEpochMean = 0.0;
+
+    // -- deployment --
+    uint64_t bundlesAccepted = 0;
+    uint64_t bundlesRejected = 0;
+    uint64_t rollbacks = 0;
+    uint64_t deployedEpoch = 0;
+    uint64_t hintsDeployed = 0;
+    double lastValidationAccuracy = 0.0;
+
+    // -- durability --
+    uint64_t journalResumedEpoch = 0;
+    uint64_t journalRecoveredRecords = 0;
+
+    // -- training supervision --
+    uint64_t tasksRequeued = 0;
+    uint64_t taskFailures = 0;
+    uint64_t branchesDegraded = 0;
+    uint64_t workersDied = 0;
+};
 
 /** Counters and accumulators for one service run. */
 struct ServiceMetrics
@@ -55,8 +102,19 @@ struct ServiceMetrics
     uint64_t journalResumedEpoch = 0;   //!< epoch restored at startup
     uint64_t journalRecoveredRecords = 0; //!< generations replayed
 
+    // -- multi-tenancy --
+    uint64_t tenantsRegistered = 0;
+    /** Chunks whose app matched no registered tenant (dropped). */
+    uint64_t unknownAppChunks = 0;
+    /** Per-application metrics, keyed by app name. Empty in
+     * single-tenant runs. */
+    std::map<std::string, TenantMetrics> tenants;
+
+    /** Render the aggregate table plus (when tenants exist) the
+     * per-tenant table with an ALL roll-up row. Every counter is
+     * printed, zero or not — no blank cells. */
     void
-    report(std::ostream &os) const
+    dump(std::ostream &os) const
     {
         TableReporter t("whisperd service metrics");
         t.setHeader({"metric", "value"});
@@ -107,6 +165,74 @@ struct ServiceMetrics
                   std::to_string(journalResumedEpoch)});
         t.addRow({"journal generations recovered",
                   std::to_string(journalRecoveredRecords)});
+        if (tenantsRegistered > 0) {
+            t.addRow({"tenants registered",
+                      std::to_string(tenantsRegistered)});
+            t.addRow({"unknown-app chunks dropped",
+                      std::to_string(unknownAppChunks)});
+        }
+        t.print(os);
+
+        if (!tenants.empty())
+            dumpTenants(os);
+    }
+
+    /** Back-compat alias for dump(). */
+    void report(std::ostream &os) const { dump(os); }
+
+  private:
+    void
+    dumpTenants(std::ostream &os) const
+    {
+        TableReporter t("whisperd per-tenant metrics");
+        t.setHeader({"tenant", "chunks", "records", "drop-chunks",
+                     "drop-jobs", "epochs", "accept", "reject",
+                     "rollbk", "deploy-epoch", "hints", "train-s",
+                     "val-acc%", "resume-epoch"});
+        TenantMetrics all;
+        auto row = [&](const std::string &name,
+                       const TenantMetrics &m) {
+            t.addRow({name, std::to_string(m.chunksRouted),
+                      std::to_string(m.recordsRouted),
+                      std::to_string(m.chunksDropped),
+                      std::to_string(m.trainJobsDropped),
+                      std::to_string(m.epochsRun),
+                      std::to_string(m.bundlesAccepted),
+                      std::to_string(m.bundlesRejected),
+                      std::to_string(m.rollbacks),
+                      std::to_string(m.deployedEpoch),
+                      std::to_string(m.hintsDeployed),
+                      TableReporter::formatDouble(
+                          m.trainLatencyMean, 3),
+                      TableReporter::formatDouble(
+                          100.0 * m.lastValidationAccuracy, 3),
+                      std::to_string(m.journalResumedEpoch)});
+        };
+        double latencySum = 0.0;
+        double accuracySum = 0.0;
+        for (const auto &[name, m] : tenants) {
+            row(name, m);
+            all.chunksRouted += m.chunksRouted;
+            all.recordsRouted += m.recordsRouted;
+            all.chunksDropped += m.chunksDropped;
+            all.recordsDropped += m.recordsDropped;
+            all.trainJobsDropped += m.trainJobsDropped;
+            all.epochsRun += m.epochsRun;
+            all.bundlesAccepted += m.bundlesAccepted;
+            all.bundlesRejected += m.bundlesRejected;
+            all.rollbacks += m.rollbacks;
+            all.deployedEpoch =
+                std::max(all.deployedEpoch, m.deployedEpoch);
+            all.hintsDeployed += m.hintsDeployed;
+            all.journalResumedEpoch = std::max(
+                all.journalResumedEpoch, m.journalResumedEpoch);
+            latencySum += m.trainLatencyMean;
+            accuracySum += m.lastValidationAccuracy;
+        }
+        size_t n = tenants.size();
+        all.trainLatencyMean = n ? latencySum / n : 0.0;
+        all.lastValidationAccuracy = n ? accuracySum / n : 0.0;
+        row("ALL", all);
         t.print(os);
     }
 };

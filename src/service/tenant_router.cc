@@ -1,0 +1,479 @@
+#include "service/tenant_router.hh"
+
+#include <chrono>
+
+#include "core/whisper_predictor.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+// --------------------------------------------------------------------
+// FairShareScheduler
+// --------------------------------------------------------------------
+
+FairShareScheduler::Entry *
+FairShareScheduler::entryFor(Tenant *tenant)
+{
+    for (auto &e : ring_)
+        if (e->tenant == tenant)
+            return e.get();
+    return nullptr;
+}
+
+void
+FairShareScheduler::add(Tenant *tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entryFor(tenant))
+        return;
+    auto entry = std::make_unique<Entry>();
+    entry->tenant = tenant;
+    ring_.push_back(std::move(entry));
+}
+
+bool
+FairShareScheduler::submit(TrainJob job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry *e = entryFor(job.tenant);
+    whisper_assert(e != nullptr,
+                   "tenant submitted before scheduler add()");
+    if (closed_)
+        return false;
+    size_t cap = std::max<size_t>(1, job.tenant->quota.maxPendingTrainJobs);
+    if (e->jobs.size() >= cap)
+        return false;
+    e->jobs.push_back(std::move(job));
+    ready_.notify_one();
+    return true;
+}
+
+bool
+FairShareScheduler::next(TrainJob &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        bool anyJobs = false;
+        for (size_t scanned = 0; scanned < ring_.size(); ++scanned) {
+            Entry &e = *ring_[cursor_ % ring_.size()];
+            unsigned cap =
+                std::max(1u, e.tenant->quota.maxInFlightTrainJobs);
+            if (!e.jobs.empty())
+                anyJobs = true;
+            if (!e.jobs.empty() && e.inFlight < cap) {
+                if (!e.charged) {
+                    // One quantum per service visit: weight W buys W
+                    // unit-cost jobs before the cursor moves on.
+                    e.deficit +=
+                        std::max(1u, e.tenant->quota.weight);
+                    e.charged = true;
+                }
+                if (e.deficit >= 1.0) {
+                    e.deficit -= 1.0;
+                    out = std::move(e.jobs.front());
+                    e.jobs.pop_front();
+                    ++e.inFlight;
+                    if (e.deficit < 1.0 || e.jobs.empty()) {
+                        // Visit exhausted; an emptied queue forfeits
+                        // leftover credit (no hoarding while idle).
+                        e.charged = false;
+                        if (e.jobs.empty())
+                            e.deficit = 0.0;
+                        cursor_ = (cursor_ + 1) % ring_.size();
+                    }
+                    return true;
+                }
+            } else if (e.jobs.empty()) {
+                e.deficit = 0.0;
+                e.charged = false;
+            }
+            // At-cap tenants keep their credit; they are skipped,
+            // not punished, until done() frees a slot.
+            cursor_ = (cursor_ + 1) % ring_.size();
+        }
+        if (!anyJobs && closed_)
+            return false;
+        ready_.wait(lock);
+    }
+}
+
+void
+FairShareScheduler::done(Tenant *tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry *e = entryFor(tenant);
+    whisper_assert(e != nullptr && e->inFlight > 0);
+    --e->inFlight;
+    ready_.notify_all();
+}
+
+void
+FairShareScheduler::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+}
+
+size_t
+FairShareScheduler::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &e : ring_)
+        n += e->jobs.size();
+    return n;
+}
+
+// --------------------------------------------------------------------
+// TenantRouter
+// --------------------------------------------------------------------
+
+TenantRouter::TenantRouter(const TenantRouterConfig &cfg,
+                           const TruthTableCache &cache)
+    : cfg_(cfg), cache_(cache)
+{
+}
+
+TenantRouter::~TenantRouter()
+{
+    finish();
+}
+
+Tenant *
+TenantRouter::addTenant(const std::string &name)
+{
+    return addTenant(name, cfg_.defaultQuota);
+}
+
+Tenant *
+TenantRouter::addTenant(const std::string &name,
+                        const TenantQuota &quota)
+{
+    Tenant *tenant = registry_.add(
+        name, quota, cfg_.whisper, makeTage(cfg_.tageBudgetKB),
+        cfg_.profilePolicy, cfg_.journalDir);
+    scheduler_.add(tenant);
+    if (started_)
+        tenant->worker =
+            std::thread([this, tenant] { absorberLoop(*tenant); });
+    return tenant;
+}
+
+void
+TenantRouter::start()
+{
+    whisper_assert(!started_ && !finished_);
+    started_ = true;
+    for (Tenant *tenant : registry_.all())
+        tenant->worker =
+            std::thread([this, tenant] { absorberLoop(*tenant); });
+    unsigned dispatchers = std::max(1u, cfg_.trainDispatchers);
+    dispatchers_.reserve(dispatchers);
+    for (unsigned i = 0; i < dispatchers; ++i)
+        dispatchers_.emplace_back(
+            [this, i] { dispatcherLoop(i); });
+}
+
+bool
+TenantRouter::offer(TraceChunk chunk)
+{
+    Tenant *tenant = registry_.find(chunk.app);
+    if (!tenant) {
+        if (!cfg_.autoRegister) {
+            ++unknownAppChunks_;
+            return false;
+        }
+        tenant = addTenant(chunk.app);
+    }
+    size_t records = chunk.records.size();
+    if (!tenant->queue.tryPush(std::move(chunk))) {
+        tenant->withCounters([&](Tenant::Counters &c) {
+            ++c.chunksDropped;
+            c.recordsDropped += records;
+        });
+        return false;
+    }
+    tenant->withCounters([&](Tenant::Counters &c) {
+        ++c.chunksRouted;
+        c.recordsRouted += records;
+    });
+    return true;
+}
+
+void
+TenantRouter::runFromQueue(BoundedQueue<TraceChunk> &queue)
+{
+    if (!started_)
+        start();
+    using clock = std::chrono::steady_clock;
+    auto runStart = clock::now();
+    uint64_t recordsAtStart = recordsIngested_;
+    TraceChunk chunk;
+    while (queue.pop(chunk)) {
+        recordsIngested_ += chunk.records.size();
+        ++chunksIngested_;
+        offer(std::move(chunk));
+        double elapsed =
+            std::chrono::duration<double>(clock::now() - runStart)
+                .count();
+        if (elapsed > 0.0)
+            ingestRate_.add(
+                static_cast<double>(recordsIngested_ -
+                                    recordsAtStart) /
+                elapsed);
+    }
+    finish();
+}
+
+void
+TenantRouter::run(const std::string &chunkDir)
+{
+    BoundedQueue<TraceChunk> queue(cfg_.queueCapacity);
+    std::atomic<uint64_t> sequence{0};
+    ChunkIngestor ingestor(ChunkIngestor::listTraceFiles(chunkDir),
+                           cfg_.chunkRecords, queue, sequence);
+    ingestor.start();
+    std::thread closer([&] {
+        ingestor.join();
+        queue.close();
+    });
+
+    runFromQueue(queue);
+
+    closer.join();
+    filesIngested_ += ingestor.filesIngested();
+    chunksSkipped_ += ingestor.framesSkipped();
+    recordsSkipped_ += ingestor.recordsSkipped();
+    readRetries_ += ingestor.readRetries();
+    corruptFiles_ += ingestor.errors().size();
+    for (const std::string &bad : ingestor.errors())
+        whisper_warn("whisperd: could not ingest ", bad);
+}
+
+void
+TenantRouter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (Tenant *tenant : registry_.all())
+        tenant->queue.close();
+    if (!started_)
+        return;
+    for (Tenant *tenant : registry_.all())
+        if (tenant->worker.joinable())
+            tenant->worker.join();
+    scheduler_.close();
+    for (std::thread &d : dispatchers_)
+        d.join();
+}
+
+void
+TenantRouter::absorberLoop(Tenant &tenant)
+{
+    TraceChunk chunk;
+    while (tenant.queue.pop(chunk))
+        absorb(tenant, std::move(chunk));
+    // Stream over: flush a final partial epoch over anything not yet
+    // trained on (the newest chunk stays held out for validation).
+    if (tenant.chunksSinceTrain > 0 && tenant.validationChunk)
+        enqueueEpochJob(tenant);
+}
+
+void
+TenantRouter::absorb(Tenant &tenant, TraceChunk chunk)
+{
+    // The previous validation window becomes training data now that
+    // a newer one exists to validate on (same holdout discipline as
+    // the single-tenant service).
+    if (tenant.validationChunk) {
+        TraceChunk prev = std::move(*tenant.validationChunk);
+        tenant.validationChunk.reset();
+        if (!prev.records.empty()) {
+            tenant.placementWindow = prev.records;
+            BranchProfile part =
+                tenant.profiler.profileChunk(prev.records);
+            tenant.accumulated.mergeFrom(part);
+            ++tenant.chunksSinceTrain;
+        }
+    }
+    tenant.validationChunk = std::move(chunk);
+
+    if (tenant.chunksSinceTrain >= cfg_.epochChunks)
+        enqueueEpochJob(tenant);
+}
+
+void
+TenantRouter::enqueueEpochJob(Tenant &tenant)
+{
+    TrainJob job;
+    job.tenant = &tenant;
+    job.jobIndex = ++tenant.jobsIssued;
+    job.profile = tenant.accumulated;
+    job.validation = tenant.validationChunk->records;
+    job.placement = tenant.placementWindow;
+    if (!scheduler_.submit(std::move(job))) {
+        // Quota breach: the epoch is skipped, not lost — absorbed
+        // chunks stay in the accumulated profile, so the tenant's
+        // next job trains on strictly more data.
+        tenant.withCounters(
+            [](Tenant::Counters &c) { ++c.trainJobsDropped; });
+    }
+    tenant.chunksSinceTrain = 0;
+}
+
+void
+TenantRouter::dispatcherLoop(unsigned dispatcherIndex)
+{
+    (void)dispatcherIndex;
+    TrainingPoolOptions opts;
+    opts.workers = cfg_.trainWorkers;
+    opts.taskDeadlineMs = cfg_.trainTaskDeadlineMs;
+    opts.maxAttempts = cfg_.trainMaxAttempts;
+    TrainingPool pool(opts);
+
+    TrainJob job;
+    while (scheduler_.next(job)) {
+        trainEpoch(pool, job);
+        scheduler_.done(job.tenant);
+        // Release the snapshot before blocking for the next job.
+        job.profile = BranchProfile(cfg_.whisper);
+        job.validation.clear();
+        job.placement.clear();
+    }
+}
+
+PredictorRunStats
+TenantRouter::evalOnRecords(const std::vector<BranchRecord> &records,
+                            const HintBundle *bundle) const
+{
+    ChunkSource source(records);
+    std::unique_ptr<BranchPredictor> predictor;
+    if (bundle) {
+        predictor = std::make_unique<WhisperPredictor>(
+            makeTage(cfg_.tageBudgetKB), cfg_.whisper, cache_,
+            bundle->hints, bundle->placements);
+    } else {
+        predictor = makeTage(cfg_.tageBudgetKB);
+    }
+    return runPredictor(source, *predictor);
+}
+
+void
+TenantRouter::trainEpoch(TrainingPool &pool, TrainJob &job)
+{
+    Tenant &tenant = *job.tenant;
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+
+    WhisperTrainer trainer(cfg_.whisper, cache_);
+    TrainingStats stats;
+    HintBundle candidate;
+    candidate.hints = pool.train(trainer, job.profile, &stats);
+
+    HintInjector injector(cfg_.injector);
+    if (!job.placement.empty()) {
+        ChunkSource placementSource(job.placement);
+        candidate.placements =
+            injector.place(placementSource, candidate.hints);
+    }
+
+    double trainSecs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    HintStore::Snapshot incumbent = tenant.store.current();
+    PredictorRunStats incumbentStats = evalOnRecords(
+        job.validation, incumbent ? &incumbent->bundle : nullptr);
+    PredictorRunStats candidateStats =
+        evalOnRecords(job.validation, &candidate);
+
+    size_t hints = candidate.hints.size();
+    bool accepted = tenant.store.propose(
+        std::move(candidate), candidateStats.accuracy(),
+        incumbentStats.accuracy(), cfg_.acceptMargin);
+
+    const SupervisionStats &sup = pool.supervision();
+    double deployedAccuracy = accepted ? candidateStats.accuracy()
+                                       : incumbentStats.accuracy();
+    tenant.withCounters([&](Tenant::Counters &c) {
+        ++c.epochsRun;
+        c.trainLatency.add(trainSecs);
+        c.hintsPerEpoch.add(static_cast<double>(hints));
+        c.lastValidationAccuracy = deployedAccuracy;
+        c.tasksRequeued += sup.tasksRequeued;
+        c.taskFailures += sup.taskFailures;
+        c.branchesDegraded += sup.branchesDegraded;
+        c.workersDied += sup.workersDied;
+    });
+    {
+        std::lock_guard<std::mutex> lock(aggMutex_);
+        aggTrainLatency_.add(trainSecs);
+        aggHintsPerEpoch_.add(static_cast<double>(hints));
+        aggDeployedMpkiDelta_.add(
+            (accepted ? candidateStats.mpki()
+                      : incumbentStats.mpki()) -
+            incumbentStats.mpki());
+    }
+
+    if (cfg_.verbose) {
+        whisper_inform(
+            "whisperd[", tenant.name, "] epoch ", job.jobIndex, ": ",
+            hints, " hints in ",
+            TableReporter::formatDouble(trainSecs, 2), "s — "
+            "candidate acc ",
+            TableReporter::formatDouble(
+                100.0 * candidateStats.accuracy(), 4),
+            "% vs incumbent ",
+            TableReporter::formatDouble(
+                100.0 * incumbentStats.accuracy(), 4),
+            "% -> ",
+            accepted ? "ACCEPTED (deployed epoch "
+                     : "REJECTED (deployed epoch ",
+            tenant.store.epoch(), ")");
+    }
+}
+
+ServiceMetrics
+TenantRouter::metrics() const
+{
+    ServiceMetrics m;
+    m.chunksIngested = chunksIngested_;
+    m.recordsIngested = recordsIngested_;
+    m.filesIngested = filesIngested_;
+    m.ingestRate = ingestRate_;
+    m.chunksSkipped = chunksSkipped_;
+    m.recordsSkipped = recordsSkipped_;
+    m.readRetries = readRetries_;
+    m.corruptFiles = corruptFiles_;
+    m.tenantsRegistered = registry_.size();
+    m.unknownAppChunks = unknownAppChunks_;
+    {
+        std::lock_guard<std::mutex> lock(aggMutex_);
+        m.trainLatency = aggTrainLatency_;
+        m.hintsPerEpoch = aggHintsPerEpoch_;
+        m.deployedMpkiDelta = aggDeployedMpkiDelta_;
+    }
+    for (const Tenant *tenant : registry_.all()) {
+        TenantMetrics tm = tenant->metrics();
+        m.epochsRun += tm.epochsRun;
+        m.bundleAcceptance.add(
+            tm.bundlesAccepted,
+            tm.bundlesAccepted + tm.bundlesRejected);
+        m.tasksRequeued += tm.tasksRequeued;
+        m.taskFailures += tm.taskFailures;
+        m.branchesDegraded += tm.branchesDegraded;
+        m.workersDied += tm.workersDied;
+        m.journalAppendFailures += tenant->journal.appendFailures();
+        m.journalRepairs += tenant->journal.repairs();
+        m.journalResumedEpoch = std::max(m.journalResumedEpoch,
+                                         tm.journalResumedEpoch);
+        m.journalRecoveredRecords += tm.journalRecoveredRecords;
+        m.tenants.emplace(tenant->name, std::move(tm));
+    }
+    return m;
+}
+
+} // namespace whisper

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Multi-tenant whisperd: route a mixed-fleet chunk stream into
+ * per-application pipelines sharing one training capacity.
+ *
+ * Topology (one TenantRouter per service process):
+ *
+ *   ingest queue (chunks tagged with their app name)
+ *        │ router thread: lookup tenant, enforce maxQueuedChunks
+ *        ▼ (tryPush; full queue = drop-and-count, never block)
+ *   per-tenant chunk queue ──▶ per-tenant absorber thread:
+ *        ChunkProfiler + validation-window holdout; every
+ *        epochChunks boundary snapshots (profile, validation,
+ *        placement) into a TrainJob
+ *        │ FairShareScheduler::submit (maxPendingTrainJobs quota)
+ *        ▼
+ *   FairShareScheduler: deficit-round-robin across tenants with
+ *        pending jobs, weight W = W jobs per round, per-tenant
+ *        in-flight cap (1 by default, preserving per-tenant FIFO)
+ *        │
+ *        ▼
+ *   dispatcher thread(s): train on a supervised TrainingPool,
+ *        validate candidate vs incumbent on the tenant's held-out
+ *        window, propose to the tenant's own versioned HintStore
+ *        (journaled per app)
+ *
+ * Isolation: a TrainJob is a pure function of one tenant's chunk
+ * sequence, and jobs of one tenant execute FIFO — so every tenant's
+ * bundle history is byte-identical to what it gets running alone,
+ * no matter what the co-tenants do (the mixed-fleet tests assert
+ * exactly this). Fairness: the deficit-round-robin scheduler bounds
+ * how far a noisy tenant can push ahead — with equal weights a
+ * tenant streaming at 10x the rate still only trains one epoch per
+ * scheduler round while others have jobs pending.
+ */
+
+#ifndef WHISPER_SERVICE_TENANT_ROUTER_HH
+#define WHISPER_SERVICE_TENANT_ROUTER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/formula_trainer.hh"
+#include "core/hint_injection.hh"
+#include "service/tenant_registry.hh"
+#include "service/training_pool.hh"
+#include "sim/runner.hh"
+
+namespace whisper
+{
+
+/** Multi-tenant service configuration (the per-app analog of
+ * WhisperdConfig; one of these covers every tenant). */
+struct TenantRouterConfig
+{
+    size_t chunkRecords = 50'000;  //!< ingest chunk granularity
+    unsigned epochChunks = 4;      //!< training chunks per epoch
+    unsigned trainWorkers = 4;     //!< TrainingPool width per dispatcher
+    /** Dispatcher threads draining the fair-share scheduler. Each
+     * owns its own supervised TrainingPool; per-tenant jobs stay
+     * FIFO regardless (the scheduler's in-flight cap enforces it). */
+    unsigned trainDispatchers = 1;
+    size_t queueCapacity = 8;      //!< shared ingest queue bound
+    unsigned tageBudgetKB = 64;    //!< baseline predictor budget
+    double acceptMargin = 0.0;
+    ChunkProfiler::Options profilePolicy;
+    WhisperConfig whisper;
+    HintInjector::Config injector;
+    bool verbose = true;
+
+    /** Directory for per-app journals (<app>.journal); "" = none. */
+    std::string journalDir;
+    uint64_t trainTaskDeadlineMs = 30'000;
+    unsigned trainMaxAttempts = 3;
+
+    /** Quota applied to tenants registered without an explicit one
+     * (including auto-registered tenants). */
+    TenantQuota defaultQuota;
+    /** Register unknown apps on first chunk instead of dropping. */
+    bool autoRegister = false;
+};
+
+/**
+ * Deficit-round-robin scheduler over per-tenant training-job queues.
+ *
+ * Each scheduler round visits the tenants in registration order;
+ * a tenant with pending jobs earns its weight in deficit and is
+ * served while the deficit lasts (unit job cost), so weight W buys W
+ * epochs per round. Tenants without pending work earn nothing — an
+ * idle tenant cannot hoard credit and then monopolize the pool.
+ * A tenant at its in-flight cap is skipped (its jobs stay queued)
+ * until done() frees a slot, which keeps per-tenant execution FIFO
+ * when the cap is 1. submit() never blocks: a tenant already at
+ * maxPendingTrainJobs has the job rejected (drop-and-count at the
+ * caller) so a stalled training pool cannot wedge the absorbers.
+ */
+class FairShareScheduler
+{
+  public:
+    /** Make @p tenant schedulable (idempotent). */
+    void add(Tenant *tenant);
+
+    /** Queue @p job for its tenant. @return false when the tenant is
+     * at maxPendingTrainJobs (job dropped; caller counts it). */
+    bool submit(TrainJob job);
+
+    /** Block for the next job in deficit-round-robin order.
+     * @return false once the scheduler is closed and drained. */
+    bool next(TrainJob &out);
+
+    /** Report @p tenant's in-flight job finished. */
+    void done(Tenant *tenant);
+
+    /** No further submissions; next() drains what remains. */
+    void close();
+
+    /** Jobs currently queued (all tenants). */
+    size_t pending() const;
+
+  private:
+    struct Entry
+    {
+        Tenant *tenant = nullptr;
+        std::deque<TrainJob> jobs;
+        double deficit = 0.0;
+        /** Quantum already granted for the current service visit. */
+        bool charged = false;
+        unsigned inFlight = 0;
+    };
+
+    Entry *entryFor(Tenant *tenant);
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::vector<std::unique_ptr<Entry>> ring_;
+    size_t cursor_ = 0;
+    bool closed_ = false;
+};
+
+/** The multi-tenant service. */
+class TenantRouter
+{
+  public:
+    TenantRouter(const TenantRouterConfig &cfg,
+                 const TruthTableCache &cache);
+    ~TenantRouter();
+
+    /** Register an app before start(); returns its tenant. */
+    Tenant *addTenant(const std::string &name);
+    Tenant *addTenant(const std::string &name,
+                      const TenantQuota &quota);
+
+    /** Spawn the per-tenant absorbers and the dispatchers. */
+    void start();
+
+    /**
+     * Route one chunk to its tenant (quota-checked, never blocks).
+     * @return false when the chunk was dropped: unknown app (unless
+     * autoRegister) or the tenant's queue was full.
+     */
+    bool offer(TraceChunk chunk);
+
+    /** Consume an externally produced chunk stream: start(), route
+     * every chunk, then finish(). The queue must be closed by its
+     * producers for this to return. */
+    void runFromQueue(BoundedQueue<TraceChunk> &queue);
+
+    /** Stream a directory of .whrt chunk files (ingest thread +
+     * runFromQueue), as Whisperd::run does for one tenant. */
+    void run(const std::string &chunkDir);
+
+    /**
+     * Drain and stop: close tenant queues, join absorbers (each
+     * flushes a final partial epoch), drain the scheduler, join
+     * dispatchers. Idempotent; called by the destructor if needed.
+     */
+    void finish();
+
+    TenantRegistry &registry() { return registry_; }
+    const TenantRegistry &registry() const { return registry_; }
+    const TenantRouterConfig &config() const { return cfg_; }
+
+    /** Aggregate + per-tenant metrics snapshot (callable anytime,
+     * but consistent only after finish()). */
+    ServiceMetrics metrics() const;
+
+  private:
+    void absorberLoop(Tenant &tenant);
+    void dispatcherLoop(unsigned dispatcherIndex);
+    void absorb(Tenant &tenant, TraceChunk chunk);
+    void enqueueEpochJob(Tenant &tenant);
+    void trainEpoch(TrainingPool &pool, TrainJob &job);
+    PredictorRunStats evalOnRecords(
+        const std::vector<BranchRecord> &records,
+        const HintBundle *bundle) const;
+
+    TenantRouterConfig cfg_;
+    const TruthTableCache &cache_;
+    TenantRegistry registry_;
+    FairShareScheduler scheduler_;
+    std::vector<std::thread> dispatchers_;
+    bool started_ = false;
+    bool finished_ = false;
+
+    // Router-thread ingest counters (single writer; snapshot after
+    // finish()).
+    uint64_t chunksIngested_ = 0;
+    uint64_t recordsIngested_ = 0;
+    uint64_t unknownAppChunks_ = 0;
+    uint64_t filesIngested_ = 0;
+    uint64_t chunksSkipped_ = 0;
+    uint64_t recordsSkipped_ = 0;
+    uint64_t readRetries_ = 0;
+    uint64_t corruptFiles_ = 0;
+    RunningStat ingestRate_;
+
+    // Aggregate training accumulators (dispatcher threads write;
+    // metrics() reads).
+    mutable std::mutex aggMutex_;
+    RunningStat aggTrainLatency_;
+    RunningStat aggHintsPerEpoch_;
+    RunningStat aggDeployedMpkiDelta_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_SERVICE_TENANT_ROUTER_HH

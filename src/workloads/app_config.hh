@@ -111,6 +111,13 @@ const std::vector<AppConfig> &specApps();
 /** Lookup by name across both catalogs; fatal if unknown. */
 const AppConfig &appByName(const std::string &name);
 
+/** Lookup by name across both catalogs; nullptr if unknown (for
+ * callers that want to report the miss themselves). */
+const AppConfig *findAppByName(const std::string &name);
+
+/** Names of every catalog application, data-center apps first. */
+std::vector<std::string> allAppNames();
+
 } // namespace whisper
 
 #endif // WHISPER_WORKLOADS_APP_CONFIG_HH

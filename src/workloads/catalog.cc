@@ -228,15 +228,35 @@ specApps()
     return apps;
 }
 
-const AppConfig &
-appByName(const std::string &name)
+const AppConfig *
+findAppByName(const std::string &name)
 {
     for (const auto &c : dataCenterApps())
         if (c.name == name)
-            return c;
+            return &c;
     for (const auto &c : specApps())
         if (c.name == name)
-            return c;
+            return &c;
+    return nullptr;
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    names.reserve(dataCenterApps().size() + specApps().size());
+    for (const auto &c : dataCenterApps())
+        names.push_back(c.name);
+    for (const auto &c : specApps())
+        names.push_back(c.name);
+    return names;
+}
+
+const AppConfig &
+appByName(const std::string &name)
+{
+    if (const AppConfig *app = findAppByName(name))
+        return *app;
     whisper_fatal("unknown application '", name, "'");
 }
 

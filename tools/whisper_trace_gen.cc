@@ -68,7 +68,17 @@ main(int argc, char **argv)
     if (appName.empty() || outPath.empty())
         usage();
 
-    const AppConfig &app = appByName(appName);
+    const AppConfig *appPtr = findAppByName(appName);
+    if (!appPtr) {
+        std::fprintf(stderr,
+                     "error: unknown application '%s'\n"
+                     "valid --app names:\n",
+                     appName.c_str());
+        for (const std::string &name : allAppNames())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 2;
+    }
+    const AppConfig &app = *appPtr;
     AppWorkload workload(app, input, records);
     BranchTrace trace(app.name, input);
     trace.fill(workload, records);

@@ -26,10 +26,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "core/whisper_io.hh"
 #include "service/fault_injection.hh"
+#include "service/tenant_router.hh"
 #include "service/whisperd.hh"
 #include "sim/experiment.hh"
 #include "trace/branch_trace.hh"
@@ -61,6 +64,21 @@ usage()
         "(default 0)\n"
         "  --journal FILE       crash-safe deployment journal "
         "(resume on restart)\n"
+        "  --tenants LIST       multi-tenant mode: comma-separated "
+        "app names, or 'auto'\n"
+        "                       to register apps on first chunk\n"
+        "  --journal-dir DIR    per-tenant journals "
+        "(DIR/<app>.journal)\n"
+        "  --out-dir DIR        per-tenant deployed bundles "
+        "(DIR/<app>.vhints)\n"
+        "  --quota-chunks [APP=]N  per-tenant queued-chunk quota "
+        "(default 16)\n"
+        "  --quota-jobs [APP=]N per-tenant pending-train-job quota "
+        "(default 4)\n"
+        "  --tenant-weight APP=W  fair-share weight (default 1; "
+        "repeatable)\n"
+        "  --dispatchers N      training dispatcher threads "
+        "(default 1)\n"
         "  --fault-spec SPEC    deterministic fault injection "
         "(e.g. flip-chunks=0.01,stall-worker)\n"
         "  --deadline-ms N      training task deadline before "
@@ -96,11 +114,153 @@ evalBundleAccuracy(const BranchTrace &trace, unsigned tageKb,
 
 } // namespace
 
+/** Parse "[APP=]N": a bare number applies to every tenant, an
+ * APP=N pair to one. @return false on a malformed value. */
+bool
+parsePerApp(const std::string &value, uint64_t *global,
+            std::map<std::string, uint64_t> &perApp)
+{
+    size_t eq = value.find('=');
+    char *end = nullptr;
+    if (eq == std::string::npos) {
+        uint64_t v = std::strtoull(value.c_str(), &end, 10);
+        if (!end || *end != '\0')
+            return false;
+        *global = v;
+        return true;
+    }
+    std::string app = value.substr(0, eq);
+    uint64_t v = std::strtoull(value.c_str() + eq + 1, &end, 10);
+    if (app.empty() || !end || *end != '\0')
+        return false;
+    perApp[app] = v;
+    return true;
+}
+
+int
+runMultiTenant(const WhisperdConfig &cfg, const std::string &chunkDir,
+               const std::string &tenantsArg,
+               const std::string &journalDir,
+               const std::string &outDir, unsigned dispatchers,
+               const TenantQuota &defaultQuota,
+               const std::map<std::string, uint64_t> &quotaChunks,
+               const std::map<std::string, uint64_t> &quotaJobs,
+               const std::map<std::string, uint64_t> &weights)
+{
+    TenantRouterConfig tcfg;
+    tcfg.chunkRecords = cfg.chunkRecords;
+    tcfg.epochChunks = cfg.epochChunks;
+    tcfg.trainWorkers = cfg.trainWorkers;
+    tcfg.trainDispatchers = dispatchers;
+    tcfg.queueCapacity = cfg.queueCapacity;
+    tcfg.tageBudgetKB = cfg.tageBudgetKB;
+    tcfg.acceptMargin = cfg.acceptMargin;
+    tcfg.profilePolicy = cfg.profilePolicy;
+    tcfg.whisper = cfg.whisper;
+    tcfg.injector = cfg.injector;
+    tcfg.verbose = cfg.verbose;
+    tcfg.journalDir = journalDir;
+    tcfg.trainTaskDeadlineMs = cfg.trainTaskDeadlineMs;
+    tcfg.trainMaxAttempts = cfg.trainMaxAttempts;
+    tcfg.defaultQuota = defaultQuota;
+    tcfg.autoRegister = tenantsArg == "auto";
+
+    auto quotaFor = [&](const std::string &app) {
+        TenantQuota q = defaultQuota;
+        if (auto it = quotaChunks.find(app); it != quotaChunks.end())
+            q.maxQueuedChunks = static_cast<size_t>(it->second);
+        if (auto it = quotaJobs.find(app); it != quotaJobs.end())
+            q.maxPendingTrainJobs = static_cast<size_t>(it->second);
+        if (auto it = weights.find(app); it != weights.end())
+            q.weight = static_cast<unsigned>(it->second);
+        return q;
+    };
+
+    TenantRouter router(tcfg, globalTruthTables());
+    if (!tcfg.autoRegister) {
+        std::string rest = tenantsArg;
+        while (!rest.empty()) {
+            size_t comma = rest.find(',');
+            std::string app = rest.substr(0, comma);
+            rest = comma == std::string::npos
+                       ? std::string()
+                       : rest.substr(comma + 1);
+            if (app.empty())
+                continue;
+            router.addTenant(app, quotaFor(app));
+        }
+        if (router.registry().size() == 0) {
+            std::fprintf(stderr, "error: --tenants named no apps\n");
+            return 2;
+        }
+    }
+
+    std::printf("whisperd: multi-tenant streaming %s (%zu tenants%s, "
+                "chunk=%zu records, epoch=%u chunks, %u train "
+                "workers, %u dispatchers)\n",
+                chunkDir.c_str(), router.registry().size(),
+                tcfg.autoRegister ? " + auto-register" : "",
+                tcfg.chunkRecords, tcfg.epochChunks,
+                tcfg.trainWorkers,
+                std::max(1u, tcfg.trainDispatchers));
+
+    router.run(chunkDir);
+
+    ServiceMetrics metrics = router.metrics();
+    for (const auto &[app, tm] : metrics.tenants) {
+        std::printf(
+            "whisperd[%s]: epochs=%llu accepted=%llu rejected=%llu "
+            "deployed-epoch=%llu resumed-epoch=%llu "
+            "dropped-chunks=%llu dropped-jobs=%llu\n",
+            app.c_str(),
+            static_cast<unsigned long long>(tm.epochsRun),
+            static_cast<unsigned long long>(tm.bundlesAccepted),
+            static_cast<unsigned long long>(tm.bundlesRejected),
+            static_cast<unsigned long long>(tm.deployedEpoch),
+            static_cast<unsigned long long>(tm.journalResumedEpoch),
+            static_cast<unsigned long long>(tm.chunksDropped),
+            static_cast<unsigned long long>(tm.trainJobsDropped));
+    }
+    metrics.dump(std::cout);
+
+    int status = 0;
+    if (!outDir.empty()) {
+        for (const Tenant *tenant : router.registry().all()) {
+            HintStore::Snapshot deployed = tenant->store.current();
+            if (!deployed) {
+                std::fprintf(stderr,
+                             "whisperd[%s]: no bundle deployed\n",
+                             tenant->name.c_str());
+                continue;
+            }
+            std::string path =
+                outDir + "/" + tenant->name + ".vhints";
+            if (!saveVersionedBundle(*deployed, path)) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             path.c_str());
+                status = 1;
+                continue;
+            }
+            std::printf("whisperd[%s]: deployed bundle (epoch %llu, "
+                        "%zu hints) -> %s\n",
+                        tenant->name.c_str(),
+                        static_cast<unsigned long long>(
+                            deployed->epoch),
+                        deployed->bundle.hints.size(), path.c_str());
+        }
+    }
+    return status;
+}
+
 int
 main(int argc, char **argv)
 {
     std::string chunkDir, outPath, evalPath, comparePath;
     std::string faultSpec;
+    std::string tenantsArg, journalDir, outDir;
+    unsigned dispatchers = 1;
+    TenantQuota defaultQuota;
+    std::map<std::string, uint64_t> quotaChunks, quotaJobs, weights;
     WhisperdConfig cfg;
     double fraction = -1.0;
 
@@ -136,6 +296,32 @@ main(int argc, char **argv)
             cfg.acceptMargin = std::atof(next());
         else if (arg == "--journal")
             cfg.journalPath = next();
+        else if (arg == "--tenants")
+            tenantsArg = next();
+        else if (arg == "--journal-dir")
+            journalDir = next();
+        else if (arg == "--out-dir")
+            outDir = next();
+        else if (arg == "--dispatchers")
+            dispatchers = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--quota-chunks") {
+            uint64_t v = defaultQuota.maxQueuedChunks;
+            if (!parsePerApp(next(), &v, quotaChunks))
+                usage();
+            defaultQuota.maxQueuedChunks = static_cast<size_t>(v);
+        } else if (arg == "--quota-jobs") {
+            uint64_t v = defaultQuota.maxPendingTrainJobs;
+            if (!parsePerApp(next(), &v, quotaJobs))
+                usage();
+            defaultQuota.maxPendingTrainJobs =
+                static_cast<size_t>(v);
+        } else if (arg == "--tenant-weight") {
+            uint64_t unused = 0;
+            std::string value = next();
+            if (value.find('=') == std::string::npos ||
+                !parsePerApp(value, &unused, weights))
+                usage();
+        }
         else if (arg == "--fault-spec")
             faultSpec = next();
         else if (arg == "--deadline-ms")
@@ -153,7 +339,9 @@ main(int argc, char **argv)
         else
             usage();
     }
-    if (chunkDir.empty() || outPath.empty() || cfg.chunkRecords == 0)
+    bool multiTenant = !tenantsArg.empty();
+    if (chunkDir.empty() || cfg.chunkRecords == 0 ||
+        (outPath.empty() && !multiTenant))
         usage();
     if (fraction > 0)
         cfg.whisper.formulaFraction = fraction;
@@ -172,6 +360,11 @@ main(int argc, char **argv)
                      chunkDir.c_str());
         return 1;
     }
+
+    if (multiTenant)
+        return runMultiTenant(cfg, chunkDir, tenantsArg, journalDir,
+                              outDir, dispatchers, defaultQuota,
+                              quotaChunks, quotaJobs, weights);
 
     std::printf("whisperd: streaming %s (chunk=%zu records, "
                 "epoch=%u chunks, %u train workers, %u shards)\n",
