@@ -17,11 +17,13 @@ PerceptronPredictor::PerceptronPredictor(const Config &cfg)
     : cfg_(cfg),
       weightMin_(-(1 << (cfg.weightBits - 1))),
       weightMax_((1 << (cfg.weightBits - 1)) - 1),
-      weights_(cfg.numTables,
-               std::vector<int16_t>(1ULL << cfg.log2Entries, 0)),
+      weights_(static_cast<size_t>(cfg.numTables)
+                   << cfg.log2Entries,
+               0),
       bias_(1ULL << cfg.log2Entries, 0)
 {
-    whisper_assert(cfg.numTables >= 1 && cfg.segmentBits >= 1);
+    whisper_assert(cfg.numTables >= 1 && cfg.segmentBits >= 1 &&
+                   cfg.segmentBits <= 64);
     unsigned totalHist = cfg.numTables * cfg.segmentBits;
     history_.assign((totalHist + 63) / 64, 0);
     threshold_ = cfg.threshold > 0
@@ -32,14 +34,16 @@ PerceptronPredictor::PerceptronPredictor(const Config &cfg)
 size_t
 PerceptronPredictor::tableIndex(unsigned t, uint64_t pc) const
 {
-    // Extract segment t of the packed history.
+    // Extract segment t of the packed history: at most two word
+    // reads instead of the old bit-by-bit gather (same bits, same
+    // order — bit b of the segment is history bit lo + b).
     unsigned lo = t * cfg_.segmentBits;
-    uint64_t seg = 0;
-    for (unsigned b = 0; b < cfg_.segmentBits; ++b) {
-        unsigned bitPos = lo + b;
-        uint64_t bit = (history_[bitPos / 64] >> (bitPos % 64)) & 1;
-        seg |= bit << b;
-    }
+    unsigned word = lo >> 6;
+    unsigned off = lo & 63;
+    uint64_t seg = history_[word] >> off;
+    if (off + cfg_.segmentBits > 64)
+        seg |= history_[word + 1] << (64 - off);
+    seg &= maskBits(cfg_.segmentBits);
     uint64_t idx = pcIndexBits(pc) ^ mix64(seg + t * 0x9e37ULL);
     return idx & ((1ULL << cfg_.log2Entries) - 1);
 }
@@ -48,8 +52,11 @@ int
 PerceptronPredictor::computeSum(uint64_t pc) const
 {
     int sum = bias_[pcIndexBits(pc) & ((1ULL << cfg_.log2Entries) - 1)];
-    for (unsigned t = 0; t < cfg_.numTables; ++t)
-        sum += weights_[t][tableIndex(t, pc)];
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        size_t slot = (static_cast<size_t>(t) << cfg_.log2Entries) +
+                      tableIndex(t, pc);
+        sum += weights_[slot];
+    }
     return sum;
 }
 
@@ -77,8 +84,11 @@ PerceptronPredictor::update(uint64_t pc, bool taken, bool predicted,
             w = static_cast<int16_t>(v);
         };
         adjust(bias_[pcIndexBits(pc) & ((1ULL << cfg_.log2Entries) - 1)]);
-        for (unsigned t = 0; t < cfg_.numTables; ++t)
-            adjust(weights_[t][tableIndex(t, pc)]);
+        for (unsigned t = 0; t < cfg_.numTables; ++t) {
+            size_t slot = (static_cast<size_t>(t) << cfg_.log2Entries) +
+                          tableIndex(t, pc);
+            adjust(weights_[slot]);
+        }
     }
 
     // Shift the packed history left by one, inserting the outcome.
@@ -93,10 +103,25 @@ PerceptronPredictor::update(uint64_t pc, bool taken, bool predicted,
 void
 PerceptronPredictor::reset()
 {
-    for (auto &t : weights_)
-        std::fill(t.begin(), t.end(), 0);
+    std::fill(weights_.begin(), weights_.end(), 0);
     std::fill(bias_.begin(), bias_.end(), 0);
     std::fill(history_.begin(), history_.end(), 0);
+}
+
+void
+PerceptronPredictor::predictMany(const BranchRecord *records, size_t n,
+                                 uint8_t *outMispredicted)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const BranchRecord &rec = records[i];
+        uint8_t miss = 0;
+        if (rec.isConditional()) {
+            bool p = PerceptronPredictor::predict(rec.pc, rec.taken);
+            PerceptronPredictor::update(rec.pc, rec.taken, p);
+            miss = p != rec.taken;
+        }
+        outMispredicted[i] = miss;
+    }
 }
 
 uint64_t

@@ -41,6 +41,8 @@ class PerceptronPredictor : public BranchPredictor
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    void predictMany(const BranchRecord *records, size_t n,
+                     uint8_t *outMispredicted) override;
     std::unique_ptr<BranchPredictor>
     clone() const override
     {
@@ -58,7 +60,10 @@ class PerceptronPredictor : public BranchPredictor
     int threshold_;
     int weightMin_;
     int weightMax_;
-    std::vector<std::vector<int16_t>> weights_;
+    /** Weight store as one contiguous array, table t at offset
+     * t << log2Entries (all tables are the same power-of-two size);
+     * replaces the vector-of-vectors double indirection. */
+    std::vector<int16_t> weights_;
     std::vector<int16_t> bias_;
     std::vector<uint64_t> history_; //!< packed history words
     int lastSum_ = 0;

@@ -68,6 +68,8 @@ class BimodalPredictor : public BranchPredictor
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    void predictMany(const BranchRecord *records, size_t n,
+                     uint8_t *outMispredicted) override;
     std::unique_ptr<BranchPredictor>
     clone() const override
     {
@@ -97,6 +99,8 @@ class GsharePredictor : public BranchPredictor
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    void predictMany(const BranchRecord *records, size_t n,
+                     uint8_t *outMispredicted) override;
     std::unique_ptr<BranchPredictor>
     clone() const override
     {

@@ -38,7 +38,8 @@ TageScl::TageScl(const TageSclConfig &cfg)
       scBias_(1ULL << cfg.logSc, 0),
       loop_((1ULL << cfg.logLoop) * 4)
 {
-    whisper_assert(cfg.numTables >= 2);
+    whisper_assert(cfg.numTables >= 2 &&
+                   cfg.numTables <= kMaxTables);
     whisper_assert(cfg.maxHist > cfg.minHist);
     whisper_assert(cfg.maxHist < history_.capacity());
 
@@ -60,9 +61,11 @@ TageScl::TageScl(const TageSclConfig &cfg)
     for (unsigned i = 0; i < cfg.numTables; ++i)
         tagBits_[i] = 8 + std::min(3u, i / 4);
 
-    tagged_.assign(cfg.numTables, {});
-    for (unsigned i = 0; i < cfg.numTables; ++i)
-        tagged_[i].assign(1ULL << cfg.logTagged, TaggedEntry{});
+    size_t taggedTotal = static_cast<size_t>(cfg.numTables)
+                         << cfg.logTagged;
+    tagKey_.assign(taggedTotal, kFreeEntry);
+    tagCtr_.assign(taggedTotal, 0);
+    tagUseful_.assign(taggedTotal, 0);
 
     // Folded history views: one for the index, two for the tag.
     for (unsigned i = 0; i < cfg.numTables; ++i) {
@@ -77,6 +80,7 @@ TageScl::TageScl(const TageSclConfig &cfg)
     // Statistical corrector: bias + GEHL components on short
     // histories.
     scHistLens_ = {4, 10, 16, 27, 44};
+    whisper_assert(scHistLens_.size() <= kMaxScTables);
     scTables_.assign(scHistLens_.size(), {});
     for (size_t t = 0; t < scHistLens_.size(); ++t) {
         scTables_[t].assign(1ULL << cfg.logSc, 0);
@@ -97,7 +101,7 @@ TageScl::storageBits() const
 {
     uint64_t bits = bimodal_.size() * 2;
     for (unsigned i = 0; i < cfg_.numTables; ++i) {
-        bits += tagged_[i].size() *
+        bits += (1ULL << cfg_.logTagged) *
                 (tagBits_[i] + cfg_.ctrBits + cfg_.usefulBits);
     }
     if (cfg_.useSc) {
@@ -137,18 +141,18 @@ TageScl::taggedTag(unsigned t, uint64_t pc) const
 void
 TageScl::computeTagePrediction(uint64_t pc)
 {
-    ctx_.indices.resize(cfg_.numTables);
-    ctx_.tags.resize(cfg_.numTables);
     for (unsigned t = 0; t < cfg_.numTables; ++t) {
         ctx_.indices[t] = taggedIndex(t, pc);
         ctx_.tags[t] = taggedTag(t, pc);
     }
 
+    // Longest-history match scan: one compare per table against the
+    // contiguous key array (the kFreeEntry sentinel makes the
+    // validity check implicit in the tag compare).
     ctx_.providerTable = -1;
     ctx_.altTable = -1;
     for (int t = cfg_.numTables - 1; t >= 0; --t) {
-        const auto &e = tagged_[t][ctx_.indices[t]];
-        if (e.valid && e.tag == ctx_.tags[t]) {
+        if (tagKey_[taggedSlot(t, ctx_.indices[t])] == ctx_.tags[t]) {
             if (ctx_.providerTable < 0) {
                 ctx_.providerTable = t;
             } else {
@@ -162,16 +166,18 @@ TageScl::computeTagePrediction(uint64_t pc)
     ctx_.altPred = basePred;
     if (ctx_.altTable >= 0) {
         ctx_.altPred =
-            tagged_[ctx_.altTable][ctx_.indices[ctx_.altTable]].ctr >= 0;
+            tagCtr_[taggedSlot(ctx_.altTable,
+                               ctx_.indices[ctx_.altTable])] >= 0;
     }
 
     if (ctx_.providerTable >= 0) {
-        const auto &e = tagged_[ctx_.providerTable]
-                               [ctx_.indices[ctx_.providerTable]];
-        ctx_.providerPred = e.ctr >= 0;
+        size_t slot = taggedSlot(ctx_.providerTable,
+                                 ctx_.indices[ctx_.providerTable]);
+        int8_t ctr = tagCtr_[slot];
+        ctx_.providerPred = ctr >= 0;
         // Newly allocated: weak counter and no proven usefulness.
         ctx_.newlyAllocated =
-            e.useful == 0 && (e.ctr == 0 || e.ctr == -1);
+            tagUseful_[slot] == 0 && (ctr == 0 || ctr == -1);
         if (ctx_.newlyAllocated && useAltOnNa_ >= 0)
             ctx_.tagePred = ctx_.altPred;
         else
@@ -194,7 +200,6 @@ TageScl::scIndex(unsigned t, uint64_t pc, bool tagePred) const
 void
 TageScl::computeScPrediction(uint64_t pc)
 {
-    ctx_.scIndices.resize(scTables_.size());
     int sum = 2 * scBias_[pcIndexBits(pc) & maskBits(cfg_.logSc)] + 1;
     sum += ctx_.tagePred ? 8 : -8;
     for (size_t t = 0; t < scTables_.size(); ++t) {
@@ -369,11 +374,10 @@ TageScl::allocateEntries(uint64_t pc, bool taken)
 
     unsigned allocated = 0, blocked = 0;
     for (unsigned t = start; t < cfg_.numTables && allocated < 2; ++t) {
-        TaggedEntry &e = tagged_[t][ctx_.indices[t]];
-        if (e.useful == 0) {
-            e.tag = ctx_.tags[t];
-            e.ctr = taken ? 0 : -1;
-            e.valid = true;
+        size_t slot = taggedSlot(t, ctx_.indices[t]);
+        if (tagUseful_[slot] == 0) {
+            tagKey_[slot] = ctx_.tags[t];
+            tagCtr_[slot] = taken ? 0 : -1;
             ++allocated;
             ++t; // leave a gap between allocations
         } else {
@@ -458,24 +462,24 @@ TageScl::update(uint64_t pc, bool taken, bool predicted, bool allocate)
 
     // Update the provider (or bimodal).
     if (ctx_.providerTable >= 0) {
-        TaggedEntry &e =
-            tagged_[ctx_.providerTable][ctx_.indices[ctx_.providerTable]];
+        size_t slot = taggedSlot(ctx_.providerTable,
+                                 ctx_.indices[ctx_.providerTable]);
         int lim = (1 << (cfg_.ctrBits - 1)) - 1;
-        int v = e.ctr + (taken ? 1 : -1);
-        e.ctr = static_cast<int8_t>(std::clamp(v, -lim - 1, lim));
+        int v = tagCtr_[slot] + (taken ? 1 : -1);
+        tagCtr_[slot] = static_cast<int8_t>(std::clamp(v, -lim - 1, lim));
 
         // Usefulness: provider correct where the alternative failed.
         if (ctx_.providerPred != ctx_.altPred) {
             if (ctx_.providerPred == taken) {
-                if (e.useful < maskBits(cfg_.usefulBits))
-                    ++e.useful;
-            } else if (e.useful > 0) {
-                --e.useful;
+                if (tagUseful_[slot] < maskBits(cfg_.usefulBits))
+                    ++tagUseful_[slot];
+            } else if (tagUseful_[slot] > 0) {
+                --tagUseful_[slot];
             }
         }
         // Weak, useless provider entries also train the base table so
         // the bimodal stays warm for when the entry is evicted.
-        if (e.useful == 0) {
+        if (tagUseful_[slot] == 0) {
             auto &b = bimodal_[pcIndexBits(pc) & maskBits(cfg_.logBimodal)];
             int bv = b + (taken ? 1 : -1);
             b = static_cast<int8_t>(std::clamp(bv, 0, 3));
@@ -496,16 +500,35 @@ TageScl::update(uint64_t pc, bool taken, bool predicted, bool allocate)
 void
 TageScl::decayUseful()
 {
-    for (auto &table : tagged_)
-        for (auto &e : table)
-            e.useful >>= 1;
+    for (auto &u : tagUseful_)
+        u >>= 1;
+}
+
+void
+TageScl::predictMany(const BranchRecord *records, size_t n,
+                     uint8_t *outMispredicted)
+{
+    // Identical to the base-class record loop, but with the
+    // predict/update calls devirtualized (onRecord is a no-op for
+    // TAGE-SC-L) so the whole per-record path inlines.
+    for (size_t i = 0; i < n; ++i) {
+        const BranchRecord &rec = records[i];
+        uint8_t miss = 0;
+        if (rec.isConditional()) {
+            bool p = TageScl::predict(rec.pc, rec.taken);
+            TageScl::update(rec.pc, rec.taken, p);
+            miss = p != rec.taken;
+        }
+        outMispredicted[i] = miss;
+    }
 }
 
 void
 TageScl::reset()
 {
-    for (auto &table : tagged_)
-        std::fill(table.begin(), table.end(), TaggedEntry{});
+    std::fill(tagKey_.begin(), tagKey_.end(), kFreeEntry);
+    std::fill(tagCtr_.begin(), tagCtr_.end(), 0);
+    std::fill(tagUseful_.begin(), tagUseful_.end(), 0);
     std::fill(bimodal_.begin(), bimodal_.end(), 0);
     for (auto &t : scTables_)
         std::fill(t.begin(), t.end(), 0);

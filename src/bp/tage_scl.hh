@@ -15,6 +15,7 @@
 #ifndef WHISPER_BP_TAGE_SCL_HH
 #define WHISPER_BP_TAGE_SCL_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -57,9 +58,17 @@ class TageScl : public BranchPredictor
   public:
     explicit TageScl(const TageSclConfig &cfg = TageSclConfig{});
 
+    /** Hard limits of the fixed-size per-prediction context (the
+     * context used to be heap-backed vectors, reallocated on every
+     * predict(); the arrays keep the hot path allocation-free). */
+    static constexpr unsigned kMaxTables = 16;
+    static constexpr unsigned kMaxScTables = 8;
+
     bool predict(uint64_t pc, bool) override;
     void update(uint64_t pc, bool taken, bool predicted,
                 bool allocate = true) override;
+    void predictMany(const BranchRecord *records, size_t n,
+                     uint8_t *outMispredicted) override;
     /** Deep copy: every table, folded-history view, LFSR and tick
      * state is value-copied, so clone-then-run is bit-identical. */
     std::unique_ptr<BranchPredictor>
@@ -81,14 +90,6 @@ class TageScl : public BranchPredictor
     unsigned lastProviderHistLen() const;
 
   private:
-    struct TaggedEntry
-    {
-        uint16_t tag = 0;
-        int8_t ctr = 0;     //!< signed, predict taken when >= 0
-        uint8_t useful = 0;
-        bool valid = false;
-    };
-
     struct LoopEntry
     {
         uint16_t tag = 0;
@@ -120,9 +121,9 @@ class TageScl : public BranchPredictor
         bool loopPred = false;
         bool loopValid = false;
         bool loopUsed = false;
-        std::vector<uint32_t> indices;
-        std::vector<uint16_t> tags;
-        std::vector<uint32_t> scIndices;
+        std::array<uint32_t, kMaxTables> indices{};
+        std::array<uint32_t, kMaxTables> tags{};
+        std::array<uint32_t, kMaxScTables> scIndices{};
     };
 
     // --- tagged path ---
@@ -144,10 +145,30 @@ class TageScl : public BranchPredictor
     void decayUseful();
     uint32_t nextRandom();
 
+    /** Slot of tagged entry @p idx of table @p t in the SoA arrays:
+     * all tables share one contiguous allocation per field, indexed
+     * with shifts and masks (every table is 2^logTagged entries). */
+    size_t
+    taggedSlot(unsigned t, uint32_t idx) const
+    {
+        return (static_cast<size_t>(t) << cfg_.logTagged) + idx;
+    }
+
+    /** tagKey_ value marking an empty (never-allocated) entry. Tags
+     * are at most 16 bits wide, so the sentinel can never collide
+     * with a computed tag. */
+    static constexpr uint32_t kFreeEntry = ~0u;
+
     TageSclConfig cfg_;
     std::vector<unsigned> histLens_;
     std::vector<unsigned> tagBits_;
-    std::vector<std::vector<TaggedEntry>> tagged_;
+    // Tagged components as structure-of-arrays: the lookup loop
+    // touches only tagKey_ (tag match + validity in one compare),
+    // the provider update touches tagCtr_/tagUseful_. One flat
+    // allocation per field replaces the per-table node vectors.
+    std::vector<uint32_t> tagKey_;   //!< tag, or kFreeEntry
+    std::vector<int8_t> tagCtr_;     //!< signed, taken when >= 0
+    std::vector<uint8_t> tagUseful_;
     std::vector<int8_t> bimodal_;  //!< 2-bit counters stored as int
 
     GlobalHistory history_;

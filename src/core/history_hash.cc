@@ -14,16 +14,30 @@ geometricLengths(unsigned a, unsigned n, unsigned m)
     whisper_assert(n > a && a >= 1);
     double r = std::pow(static_cast<double>(n) / a,
                         1.0 / (m - 1));
-    std::vector<unsigned> lengths(m);
+    std::vector<unsigned> lengths;
+    lengths.reserve(m);
     double len = a;
     for (unsigned i = 0; i < m; ++i) {
         unsigned v = static_cast<unsigned>(len + 0.5);
-        if (i > 0 && v <= lengths[i - 1])
-            v = lengths[i - 1] + 1;
-        lengths[i] = v;
+        // Force strict monotonicity, but never let the +1 walk an
+        // intermediate length past N: when m is large relative to
+        // N - a the walked values used to overshoot N and the final
+        // lengths[m-1] = N overwrite produced a non-increasing,
+        // duplicate-laden tail. Clamp to N and drop duplicates
+        // instead; the result is strictly increasing and ends at N
+        // (possibly with fewer than m entries).
+        if (!lengths.empty() && v <= lengths.back())
+            v = lengths.back() + 1;
+        if (v > n)
+            v = n;
+        if (lengths.empty() || v > lengths.back())
+            lengths.push_back(v);
         len *= r;
     }
-    lengths[m - 1] = n;
+    // Floating-point rounding can leave the tail just below N; the
+    // series must end exactly at the maximum correlation length.
+    if (lengths.back() != n)
+        lengths.back() = n;
     return lengths;
 }
 

@@ -58,9 +58,12 @@ struct WhisperConfig
 
 /**
  * The geometric history-length series, exactly as specified in the
- * paper: lengths[i] = round(a * r^i), forced strictly increasing,
- * with lengths[m-1] == N. Defaults give
- * {8, 11, 15, 20, 26, ..., 1024}.
+ * paper: lengths[i] = round(a * r^i), forced strictly increasing and
+ * capped at N, ending exactly at N. Defaults give
+ * {8, 11, 15, 20, 26, ..., 1024}. When m is large relative to N - a
+ * the monotonicity walk would overrun N; such duplicates are dropped,
+ * so the result may carry fewer than m (but at least two) entries —
+ * e.g. (a=1, n=4, m=8) yields {1, 2, 3, 4}.
  */
 std::vector<unsigned> geometricLengths(unsigned a, unsigned n,
                                        unsigned m);

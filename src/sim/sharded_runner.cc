@@ -1,9 +1,11 @@
 #include "sim/sharded_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "util/arena.hh"
 #include "util/logging.hh"
 
 namespace whisper
@@ -21,17 +23,10 @@ secondsSince(Clock::time_point start)
         .count();
 }
 
-/** One warm-up step: exactly the per-record work of runPredictor,
- * minus the statistics. */
-inline void
-stepWarm(BranchPredictor &pred, const BranchRecord &rec)
-{
-    if (rec.isConditional()) {
-        bool p = pred.predict(rec.pc, rec.taken);
-        pred.update(rec.pc, rec.taken, p);
-    }
-    pred.onRecord(rec);
-}
+/** Records per predictMany() call. Large enough to amortize the
+ * virtual dispatch, small enough that the per-worker scratch stays
+ * cache-resident. */
+constexpr size_t kBatchRecords = 4096;
 
 /** Sum of (instGap + 1) over [first, last). */
 uint64_t
@@ -90,46 +85,57 @@ planWindows(const BranchRecord *records, size_t count,
 }
 
 /** Warm a clone then evaluate its window, mirroring runPredictor's
- * per-record accounting bit for bit. */
+ * per-record accounting bit for bit. Both phases drive the clone
+ * through predictMany() — one virtual call per kBatchRecords instead
+ * of three per record — and take their scratch from the calling
+ * worker's arena (reset between windows, so after the first window
+ * the worker never touches the heap for scratch). */
 PredictorRunStats
 evaluateWindow(const BranchRecord *records, const WindowPlan &plan,
-               uint64_t warmupLimit, ShardTiming &timing)
+               uint64_t warmupLimit, MonotonicArena &arena,
+               ShardTiming &timing)
 {
     auto pred = plan.prototype->clone();
     whisper_assert(pred != nullptr,
                    "predictor returned a null clone");
 
+    uint8_t *miss = arena.allocateArray<uint8_t>(kBatchRecords);
+
     auto warmStart = Clock::now();
-    for (size_t i = plan.warmFirst; i < plan.first; ++i)
-        stepWarm(*pred, records[i]);
+    // Warm-up is the same per-record work minus statistics, so the
+    // misprediction bytes are simply ignored.
+    for (size_t i = plan.warmFirst; i < plan.first;
+         i += kBatchRecords) {
+        size_t n = std::min(kBatchRecords, plan.first - i);
+        pred->predictMany(records + i, n, miss);
+    }
     timing.warmSeconds = secondsSince(warmStart);
     timing.warmRecords = plan.first - plan.warmFirst;
 
     auto evalStart = Clock::now();
     PredictorRunStats stats;
     uint64_t seenInstructions = plan.instrBefore;
-    for (size_t i = plan.first; i < plan.last; ++i) {
-        const BranchRecord &rec = records[i];
-        seenInstructions += static_cast<uint64_t>(rec.instGap) + 1;
-        bool counting = seenInstructions > warmupLimit;
+    for (size_t i = plan.first; i < plan.last; i += kBatchRecords) {
+        size_t n = std::min(kBatchRecords, plan.last - i);
+        pred->predictMany(records + i, n, miss);
+        for (size_t k = 0; k < n; ++k) {
+            const BranchRecord &rec = records[i + k];
+            seenInstructions +=
+                static_cast<uint64_t>(rec.instGap) + 1;
+            bool counting = seenInstructions > warmupLimit;
 
-        if (rec.isConditional()) {
-            bool p = pred->predict(rec.pc, rec.taken);
-            pred->update(rec.pc, rec.taken, p);
             if (counting) {
-                ++stats.conditionals;
-                if (p != rec.taken)
-                    ++stats.mispredicts;
+                if (rec.isConditional()) {
+                    ++stats.conditionals;
+                    stats.mispredicts += miss[k];
+                }
+                stats.instructions +=
+                    static_cast<uint64_t>(rec.instGap) + 1;
+            } else {
+                stats.warmupInstructions +=
+                    static_cast<uint64_t>(rec.instGap) + 1;
             }
         }
-        pred->onRecord(rec);
-
-        if (counting)
-            stats.instructions +=
-                static_cast<uint64_t>(rec.instGap) + 1;
-        else
-            stats.warmupInstructions +=
-                static_cast<uint64_t>(rec.instGap) + 1;
     }
     timing.evalSeconds = secondsSince(evalStart);
     timing.firstRecord = plan.first;
@@ -152,15 +158,19 @@ runPlans(const BranchRecord *records,
     auto wallStart = Clock::now();
     std::atomic<size_t> cursor{0};
     auto workerLoop = [&](unsigned workerId) {
+        // Worker-owned scratch arena, recycled across this worker's
+        // windows; never shared, so no synchronization.
+        MonotonicArena arena;
         for (;;) {
             size_t w = cursor.fetch_add(1);
             if (w >= plans.size())
                 return;
+            arena.reset();
             ShardTiming &t = timing.perShard[w];
             t.window = w;
             t.worker = workerId;
             perWindow[w] = evaluateWindow(records, plans[w],
-                                          warmupLimit, t);
+                                          warmupLimit, arena, t);
         }
     };
 

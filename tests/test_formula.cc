@@ -179,6 +179,46 @@ TEST(GeometricLengths, RatioApproximatelyGeometric)
     }
 }
 
+// Regression: when m is large relative to N-a, the rounded geometric
+// series used to go non-monotone past N in the tail (e.g. a=1, N=4,
+// m=8 produced ... 4, 5, 6, 4). The series must stay strictly
+// increasing, stay within [a, N], and end exactly at N, even if that
+// means fewer than m entries.
+TEST(GeometricLengths, DegenerateTailStaysMonotone)
+{
+    auto lengths = geometricLengths(1, 4, 8);
+    ASSERT_FALSE(lengths.empty());
+    EXPECT_EQ(lengths.front(), 1u);
+    EXPECT_EQ(lengths.back(), 4u);
+    EXPECT_LE(lengths.size(), 8u);
+    for (size_t i = 1; i < lengths.size(); ++i)
+        EXPECT_GT(lengths[i], lengths[i - 1]) << i;
+    EXPECT_EQ(lengths, (std::vector<unsigned>{1, 2, 3, 4}));
+}
+
+TEST(GeometricLengths, ClampedSeriesSweep)
+{
+    // Every (a, N, m) combination must produce a strictly increasing
+    // series from a to N with at most m entries.
+    for (unsigned a : {1u, 2u, 8u}) {
+        for (unsigned n : {4u, 16u, 100u}) {
+            if (n <= a)
+                continue;
+            for (unsigned m : {2u, 5u, 12u}) {
+                auto lengths = geometricLengths(a, n, m);
+                ASSERT_GE(lengths.size(), 2u)
+                    << a << "," << n << "," << m;
+                EXPECT_EQ(lengths.front(), a);
+                EXPECT_EQ(lengths.back(), n);
+                EXPECT_LE(lengths.size(), static_cast<size_t>(m));
+                for (size_t i = 1; i < lengths.size(); ++i)
+                    EXPECT_GT(lengths[i], lengths[i - 1])
+                        << a << "," << n << "," << m << " @" << i;
+            }
+        }
+    }
+}
+
 TEST(TruthTableCache, MatchesDirectEvaluation)
 {
     TruthTableCache cache(8);
