@@ -102,6 +102,59 @@ struct AppConfig
     double inputRankShuffle = 0.08;
 };
 
+/**
+ * How a workload's statistics move while the stream is running.
+ *
+ * Every base AppWorkload is stationary per (seed, input): the paper's
+ * premise — and the reason whisperd exists — is that production
+ * branch behavior is not (PAPER.md SV-A, Figs. 17/18). A DriftSpec
+ * schedules deterministic mid-stream change so the adaptive
+ * redeploy/rollback machinery can be exercised against the thing it
+ * was built for.
+ */
+enum class DriftKind : uint8_t
+{
+    None,        //!< stationary (exactly the base workload)
+    Phase,       //!< step change every periodRecords, cycling views
+    Gradual,     //!< continuous morph between phase views
+    Adversarial, //!< correlated profiling prefix, then decorrelation
+};
+
+/** Deterministic mid-stream change schedule for an AppWorkload. */
+struct DriftSpec
+{
+    DriftKind kind = DriftKind::None;
+    /** Phase length (Phase/Gradual) or the length of the correlated
+     * profiling prefix (Adversarial). Must be > 0 when active. */
+    uint64_t periodRecords = 0;
+    /** Distinct phase views cycled through (Phase/Gradual). */
+    unsigned phases = 4;
+    /** Fraction of region popularity ranks and branch-site
+     * parameters (bias rates, history formulas) rotated per phase. */
+    double intensity = 0.5;
+    /** Adversarial: fraction of history-correlated sites that turn
+     * into coin flips after the prefix (1.0 = global). */
+    double decorrelate = 1.0;
+    /** Extra salt so one app can run many independent schedules. */
+    uint64_t seed = 0;
+
+    bool active() const { return kind != DriftKind::None; }
+};
+
+/**
+ * Parse a drift spec string: `KIND[:key=value,...]` with KIND one of
+ * none, phase, gradual, adversarial and keys period, phases,
+ * intensity, frac (decorrelate), seed. E.g.
+ * `phase:period=50000,phases=4,intensity=0.5` or
+ * `adversarial:period=100000,frac=0.5`.
+ * @return false (with *error set) on malformed input.
+ */
+bool parseDriftSpec(const std::string &spec, DriftSpec *out,
+                    std::string *error);
+
+/** Canonical one-line rendering of @p spec (parseable again). */
+std::string describeDriftSpec(const DriftSpec &spec);
+
 /** The 12 data center applications of Table I. */
 const std::vector<AppConfig> &dataCenterApps();
 

@@ -21,13 +21,67 @@ constexpr uint64_t kCallStubBase = 0x200000;
 /** Shared virtual-dispatch sites for request entry points. */
 constexpr uint64_t kDispatchBase = 0x100000;
 constexpr unsigned kDispatchSites = 8;
+/** Gradual drift quantization: the blended view is refreshed this
+ * many times per period (alpha resolution). */
+constexpr uint64_t kGradualSteps = 32;
+
+/** Random formula node tree honoring the configured op-family mix
+ * (shared by the static build and drift's formula rotation). */
+BoolFormula
+randomFormula(Rng &rng, const OpFamilyMix &mix)
+{
+    double total =
+        mix.andW + mix.orW + mix.implW + mix.cnimplW + mix.mixedW;
+    double u = rng.nextDouble() * total;
+    bool mixed = false;
+    BoolOp root = BoolOp::And;
+    if ((u -= mix.andW) < 0)
+        root = BoolOp::And;
+    else if ((u -= mix.orW) < 0)
+        root = BoolOp::Or;
+    else if ((u -= mix.implW) < 0)
+        root = BoolOp::Impl;
+    else if ((u -= mix.cnimplW) < 0)
+        root = BoolOp::Cnimpl;
+    else
+        mixed = true;
+
+    // 7 nodes * 2 bits + inversion bit; the root is node 6.
+    uint16_t enc = 0;
+    for (unsigned node = 0; node < 6; ++node)
+        enc |= static_cast<uint16_t>(rng.nextBelow(4)) << (2 * node);
+    if (mixed) {
+        enc |= static_cast<uint16_t>(rng.nextBelow(4)) << 12;
+        enc |= 1u << 14; // inverted -> classified "Others"
+    } else {
+        enc |= static_cast<uint16_t>(root) << 12;
+    }
+    return BoolFormula(enc, 8);
+}
+
+/** Deterministic uniform in [0, 1) for gradual drift's staggered
+ * per-site formula switch points. */
+double
+siteSwitchPoint(uint64_t seed, uint64_t window, uint64_t site)
+{
+    uint64_t h = mix64(seed ^ mix64(0x6D21F700ULL + window) ^
+                       mix64(0x517E0000ULL + site));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
 
 } // namespace
 
 AppWorkload::AppWorkload(const AppConfig &cfg, uint32_t inputId,
                          uint64_t numBranches)
+    : AppWorkload(cfg, inputId, numBranches, DriftSpec{})
+{
+}
+
+AppWorkload::AppWorkload(const AppConfig &cfg, uint32_t inputId,
+                         uint64_t numBranches,
+                         const DriftSpec &drift)
     : cfg_(cfg), inputId_(inputId), numBranches_(numBranches),
-      lengths_(geometricLengths(WhisperConfig{})),
+      drift_(drift), lengths_(geometricLengths(WhisperConfig{})),
       runRng_(cfg.seed ^ (0xABCD0000ULL + inputId)),
       history_(4096)
 {
@@ -37,6 +91,8 @@ AppWorkload::AppWorkload(const AppConfig &cfg, uint32_t inputId,
                        cfg.minBranchesPerRegion);
     whisper_assert(cfg.maxCorrelationIdx < lengths_.size());
     whisper_assert(cfg.minCorrelationIdx <= cfg.maxCorrelationIdx);
+    whisper_assert(!drift_.active() || drift_.periodRecords > 0);
+    whisper_assert(!drift_.active() || drift_.phases >= 1);
 
     for (unsigned len : lengths_)
         history_.addFoldedView(len, 8);
@@ -66,39 +122,6 @@ AppWorkload::buildStatics()
         if ((u -= cfg_.wHashedHistory) < 0)
             return BehaviorKind::HashedHistory;
         return BehaviorKind::Random;
-    };
-
-    auto pickFormula = [&]() {
-        const OpFamilyMix &mix = cfg_.opMix;
-        double total = mix.andW + mix.orW + mix.implW + mix.cnimplW +
-                       mix.mixedW;
-        double u = rng.nextDouble() * total;
-        bool mixed = false;
-        BoolOp root = BoolOp::And;
-        if ((u -= mix.andW) < 0)
-            root = BoolOp::And;
-        else if ((u -= mix.orW) < 0)
-            root = BoolOp::Or;
-        else if ((u -= mix.implW) < 0)
-            root = BoolOp::Impl;
-        else if ((u -= mix.cnimplW) < 0)
-            root = BoolOp::Cnimpl;
-        else
-            mixed = true;
-
-        // 7 nodes * 2 bits + inversion bit; the root is node 6.
-        uint16_t enc = 0;
-        for (unsigned node = 0; node < 6; ++node) {
-            enc |= static_cast<uint16_t>(rng.nextBelow(4))
-                   << (2 * node);
-        }
-        if (mixed) {
-            enc |= static_cast<uint16_t>(rng.nextBelow(4)) << 12;
-            enc |= 1u << 14; // inverted -> classified "Others"
-        } else {
-            enc |= static_cast<uint16_t>(root) << 12;
-        }
-        return BoolFormula(enc, 8);
     };
 
     regionBase_.resize(cfg_.numRegions);
@@ -158,7 +181,7 @@ AppWorkload::buildStatics()
                                   cfg_.loopPeriodMax));
                 break;
               case BehaviorKind::ShortHistory:
-                s.formula = pickFormula();
+                s.formula = randomFormula(rng, cfg_.opMix);
                 s.lengthIdx = 0;
                 s.histLen = static_cast<unsigned>(
                     rng.nextRange(cfg_.shortHistBitsMin,
@@ -168,7 +191,7 @@ AppWorkload::buildStatics()
                               (cfg_.histNoiseMax - cfg_.histNoiseMin);
                 break;
               case BehaviorKind::HashedHistory:
-                s.formula = pickFormula();
+                s.formula = randomFormula(rng, cfg_.opMix);
                 s.lengthIdx = static_cast<unsigned>(
                     rng.nextRange(cfg_.minCorrelationIdx,
                                   cfg_.maxCorrelationIdx));
@@ -223,8 +246,7 @@ AppWorkload::buildInputView()
     // the structural seed, partially reshuffled per input (different
     // inputs exercise different query/request mixes).
     Rng baseRng(mix64(cfg_.seed ^ 0x5EEDBA5EULL));
-    std::vector<uint32_t> rank =
-        baseRng.permutation(cfg_.numRequestTypes);
+    inputRank_ = baseRng.permutation(cfg_.numRequestTypes);
 
     if (inputId_ != 0 && cfg_.inputRankShuffle > 0.0) {
         Rng inRng(mix64(cfg_.seed) ^ mix64(0x1000 + inputId_));
@@ -233,19 +255,11 @@ AppWorkload::buildInputView()
         for (uint64_t i = 0; i < swaps; ++i) {
             size_t a = inRng.nextBelow(cfg_.numRequestTypes);
             size_t b = inRng.nextBelow(cfg_.numRequestTypes);
-            std::swap(rank[a], rank[b]);
+            std::swap(inputRank_[a], inputRank_[b]);
         }
     }
 
-    typeCdf_.resize(cfg_.numRequestTypes);
-    double sum = 0.0;
-    for (unsigned t = 0; t < cfg_.numRequestTypes; ++t) {
-        sum += std::pow(static_cast<double>(rank[t] + 1),
-                        -cfg_.zipfTheta);
-        typeCdf_[t] = sum;
-    }
-    for (auto &v : typeCdf_)
-        v /= sum;
+    typeCdf_ = cdfFromRank(inputRank_);
 
     // Per-input parameters for biased/random sites. Input-sensitive
     // sites derive their parameters from the actual input id; stable
@@ -286,6 +300,186 @@ AppWorkload::buildInputView()
             break;
         }
     }
+
+    // Snapshot the phase-0 view so drift can always re-derive from
+    // (and rewind back to) it.
+    baseDyn_.resize(sites_.size());
+    for (size_t i = 0; i < sites_.size(); ++i)
+        baseDyn_[i] = SiteDyn{sites_[i].param, sites_[i].noise,
+                              sites_[i].formula};
+    baseTypeCdf_ = typeCdf_;
+    driftSeg_ = ~0ULL;
+}
+
+std::vector<double>
+AppWorkload::cdfFromRank(const std::vector<uint32_t> &rank) const
+{
+    std::vector<double> cdf(cfg_.numRequestTypes);
+    double sum = 0.0;
+    for (unsigned t = 0; t < cfg_.numRequestTypes; ++t) {
+        sum += std::pow(static_cast<double>(rank[t] + 1),
+                        -cfg_.zipfTheta);
+        cdf[t] = sum;
+    }
+    for (auto &v : cdf)
+        v /= sum;
+    return cdf;
+}
+
+void
+AppWorkload::computePhaseView(unsigned phase,
+                              std::vector<SiteDyn> &dyn,
+                              std::vector<double> &cdf) const
+{
+    dyn = baseDyn_;
+    if (phase == 0) {
+        cdf = baseTypeCdf_;
+        return;
+    }
+
+    // Everything below is a pure function of (structural seed, drift
+    // seed, phase): views are recomputed identically after rewind and
+    // across shards.
+    Rng rng(mix64(cfg_.seed ^ drift_.seed) ^
+            mix64(0xD41F7000ULL + phase));
+
+    std::vector<uint32_t> rank = inputRank_;
+    auto swaps = static_cast<uint64_t>(drift_.intensity *
+                                       cfg_.numRequestTypes);
+    for (uint64_t i = 0; i < swaps; ++i) {
+        size_t a = rng.nextBelow(cfg_.numRequestTypes);
+        size_t b = rng.nextBelow(cfg_.numRequestTypes);
+        std::swap(rank[a], rank[b]);
+    }
+    cdf = cdfFromRank(rank);
+
+    for (size_t i = 0; i < dyn.size(); ++i) {
+        const BranchSite &s = sites_[i];
+        if (!rng.nextBool(drift_.intensity))
+            continue;
+        switch (s.kind) {
+          case BehaviorKind::Biased: {
+            // The majority direction is structural and survives the
+            // phase change; only the residual rate moves.
+            double flip = rng.nextDouble() * 4.0 * cfg_.biasNoiseMax;
+            dyn[i].param = s.takenBiasedDir ? 1.0 - flip : flip;
+            break;
+          }
+          case BehaviorKind::Random:
+            dyn[i].param = cfg_.randomPMin +
+                           rng.nextDouble() *
+                               (cfg_.randomPMax - cfg_.randomPMin);
+            break;
+          case BehaviorKind::ShortHistory:
+          case BehaviorKind::HashedHistory:
+            // A different formula over the same history bits: the
+            // site stays correlated, but hints trained on the old
+            // phase systematically mispredict it.
+            dyn[i].formula = randomFormula(rng, cfg_.opMix);
+            dyn[i].noise = cfg_.histNoiseMin +
+                           rng.nextDouble() * (cfg_.histNoiseMax -
+                                               cfg_.histNoiseMin);
+            break;
+          case BehaviorKind::Loop:
+            break;
+        }
+    }
+}
+
+void
+AppWorkload::installView(const std::vector<SiteDyn> &dyn,
+                         const std::vector<double> &cdf)
+{
+    whisper_assert(dyn.size() == sites_.size());
+    for (size_t i = 0; i < sites_.size(); ++i) {
+        sites_[i].param = dyn[i].param;
+        sites_[i].noise = dyn[i].noise;
+        sites_[i].formula = dyn[i].formula;
+    }
+    typeCdf_ = cdf;
+}
+
+void
+AppWorkload::applyDriftView()
+{
+    if (!drift_.active())
+        return;
+
+    uint64_t seg = 0;
+    switch (drift_.kind) {
+      case DriftKind::Phase:
+        seg = emitted_ / drift_.periodRecords;
+        break;
+      case DriftKind::Gradual:
+        seg = (emitted_ * kGradualSteps) / drift_.periodRecords;
+        break;
+      case DriftKind::Adversarial:
+        seg = emitted_ >= drift_.periodRecords ? 1 : 0;
+        break;
+      case DriftKind::None:
+        return;
+    }
+    if (seg == driftSeg_)
+        return;
+    driftSeg_ = seg;
+
+    std::vector<SiteDyn> dyn;
+    std::vector<double> cdf;
+    switch (drift_.kind) {
+      case DriftKind::Phase:
+        computePhaseView(
+            static_cast<unsigned>(seg % drift_.phases), dyn, cdf);
+        break;
+      case DriftKind::Gradual: {
+        // Blend the surrounding phase views; formulas can't be
+        // interpolated, so each site flips at a deterministic,
+        // staggered point inside the window.
+        uint64_t window = seg / kGradualSteps;
+        double alpha = static_cast<double>(seg % kGradualSteps) /
+                       static_cast<double>(kGradualSteps);
+        computePhaseView(
+            static_cast<unsigned>(window % drift_.phases), dyn, cdf);
+        std::vector<SiteDyn> dynB;
+        std::vector<double> cdfB;
+        computePhaseView(
+            static_cast<unsigned>((window + 1) % drift_.phases),
+            dynB, cdfB);
+        uint64_t salt = mix64(cfg_.seed ^ drift_.seed);
+        for (size_t i = 0; i < dyn.size(); ++i) {
+            dyn[i].param += alpha * (dynB[i].param - dyn[i].param);
+            dyn[i].noise += alpha * (dynB[i].noise - dyn[i].noise);
+            if (alpha >= siteSwitchPoint(salt, window, i))
+                dyn[i].formula = dynB[i].formula;
+        }
+        for (size_t t = 0; t < cdf.size(); ++t)
+            cdf[t] += alpha * (cdfB[t] - cdf[t]);
+        break;
+      }
+      case DriftKind::Adversarial: {
+        dyn = baseDyn_;
+        cdf = baseTypeCdf_;
+        if (seg == 1) {
+            // After the correlated profiling prefix, the selected
+            // history-correlated sites become coin flips: any hint
+            // (or TAGE entry) trained on the prefix is now worthless
+            // on them.
+            Rng sel(mix64(cfg_.seed ^ drift_.seed) ^
+                    0xADE55A1ULL);
+            for (size_t i = 0; i < dyn.size(); ++i) {
+                bool hist =
+                    sites_[i].kind == BehaviorKind::ShortHistory ||
+                    sites_[i].kind == BehaviorKind::HashedHistory;
+                bool pick = sel.nextBool(drift_.decorrelate);
+                if (hist && pick)
+                    dyn[i].noise = 0.5;
+            }
+        }
+        break;
+      }
+      case DriftKind::None:
+        return;
+    }
+    installView(dyn, cdf);
 }
 
 unsigned
@@ -398,6 +592,9 @@ AppWorkload::next(BranchRecord &rec)
     if (emitted_ >= numBranches_)
         return false;
     while (pending_.empty()) {
+        // Drift is applied at request boundaries only, so one
+        // request always runs under a single consistent view.
+        applyDriftView();
         unsigned type = sampleRequestType();
         const auto &regions = requestTypes_[type];
         for (size_t i = 0; i < regions.size(); ++i) {
@@ -430,6 +627,10 @@ AppWorkload::rewind()
     pending_.clear();
     std::fill(execCounter_.begin(), execCounter_.end(), 0);
     emitted_ = 0;
+    if (driftSeg_ != ~0ULL) {
+        installView(baseDyn_, baseTypeCdf_);
+        driftSeg_ = ~0ULL;
+    }
 }
 
 } // namespace whisper

@@ -57,11 +57,25 @@ class AppWorkload : public BranchSource
     AppWorkload(const AppConfig &cfg, uint32_t inputId,
                 uint64_t numBranches);
 
+    /**
+     * Drifting variant: behaviour rotates mid-stream on the
+     * deterministic schedule in @p drift (phase changes, gradual
+     * morphing, or adversarial post-prefix decorrelation). A
+     * DriftKind::None spec reproduces the stationary stream
+     * byte-for-byte. Drift never changes the static code structure
+     * (site PCs, kinds, request shapes) — only the dynamic view:
+     * request-type popularity and per-site parameters/formulas,
+     * applied at request boundaries.
+     */
+    AppWorkload(const AppConfig &cfg, uint32_t inputId,
+                uint64_t numBranches, const DriftSpec &drift);
+
     bool next(BranchRecord &rec) override;
     void rewind() override;
 
     const AppConfig &config() const { return cfg_; }
     uint32_t inputId() const { return inputId_; }
+    const DriftSpec &drift() const { return drift_; }
 
     /** Static conditional branch sites in the model. */
     uint64_t staticBranches() const { return sites_.size(); }
@@ -83,6 +97,15 @@ class AppWorkload : public BranchSource
     }
 
   private:
+    /** Dynamic (per-view) state of one site: everything drift may
+     * rotate without touching the static structure. */
+    struct SiteDyn
+    {
+        double param = 0.5;
+        double noise = 0.0;
+        BoolFormula formula;
+    };
+
     void buildStatics();
     void buildInputView();
     unsigned sampleRequestType();
@@ -90,9 +113,23 @@ class AppWorkload : public BranchSource
                     BranchKind callKind);
     bool resolveOutcome(BranchSite &site);
 
+    /** Re-derive the drift view for the current stream position
+     * (no-op while the position stays inside the applied segment). */
+    void applyDriftView();
+    /** Rotated dynamic view for @p phase (phase 0 = the base input
+     * view), derived from scratch so rewind replays exactly. */
+    void computePhaseView(unsigned phase, std::vector<SiteDyn> &dyn,
+                          std::vector<double> &cdf) const;
+    /** Popularity CDF over request types from a rank permutation. */
+    std::vector<double>
+    cdfFromRank(const std::vector<uint32_t> &rank) const;
+    void installView(const std::vector<SiteDyn> &dyn,
+                     const std::vector<double> &cdf);
+
     AppConfig cfg_;
     uint32_t inputId_;
     uint64_t numBranches_;
+    DriftSpec drift_;
 
     std::vector<unsigned> lengths_;
     std::vector<BranchSite> sites_;
@@ -104,6 +141,14 @@ class AppWorkload : public BranchSource
 
     /** Zipf CDF over request types for this input. */
     std::vector<double> typeCdf_;
+
+    // --- drift base snapshots (the phase-0 view) ---
+    std::vector<uint32_t> inputRank_; //!< post-input-shuffle ranks
+    std::vector<SiteDyn> baseDyn_;
+    std::vector<double> baseTypeCdf_;
+    /** Applied drift segment (phase index, gradual sub-step, or the
+     * adversarial before/after flag). ~0 = base view installed. */
+    uint64_t driftSeg_ = ~0ULL;
 
     // --- run state (reset by rewind) ---
     Rng runRng_;

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * DriftSpec string parsing (the `--drift` CLI surface).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/app_config.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+bool
+parseU64(const std::string &v, uint64_t *out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(v.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseF64(const std::string &v, double *out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(v.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+bool
+parseDriftSpec(const std::string &spec, DriftSpec *out,
+               std::string *error)
+{
+    DriftSpec parsed;
+    size_t colon = spec.find(':');
+    std::string kind = spec.substr(0, colon);
+
+    if (kind == "none")
+        parsed.kind = DriftKind::None;
+    else if (kind == "phase")
+        parsed.kind = DriftKind::Phase;
+    else if (kind == "gradual")
+        parsed.kind = DriftKind::Gradual;
+    else if (kind == "adversarial")
+        parsed.kind = DriftKind::Adversarial;
+    else
+        return fail(error, "unknown drift kind '" + kind +
+                               "' (none|phase|gradual|adversarial)");
+
+    std::string rest =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    while (!rest.empty()) {
+        size_t comma = rest.find(',');
+        std::string item = rest.substr(0, comma);
+        rest = comma == std::string::npos ? std::string()
+                                          : rest.substr(comma + 1);
+        if (item.empty())
+            continue;
+        size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return fail(error,
+                        "drift option '" + item + "' needs key=value");
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        bool ok = true;
+        if (key == "period") {
+            ok = parseU64(value, &parsed.periodRecords);
+        } else if (key == "phases") {
+            uint64_t v = 0;
+            ok = parseU64(value, &v) && v >= 1;
+            parsed.phases = static_cast<unsigned>(v);
+        } else if (key == "intensity") {
+            ok = parseF64(value, &parsed.intensity) &&
+                 parsed.intensity >= 0.0 && parsed.intensity <= 1.0;
+        } else if (key == "frac") {
+            ok = parseF64(value, &parsed.decorrelate) &&
+                 parsed.decorrelate >= 0.0 &&
+                 parsed.decorrelate <= 1.0;
+        } else if (key == "seed") {
+            ok = parseU64(value, &parsed.seed);
+        } else {
+            return fail(error, "unknown drift option '" + key +
+                                   "' (period|phases|intensity|frac|"
+                                   "seed)");
+        }
+        if (!ok)
+            return fail(error, "bad value for drift option '" + key +
+                                   "': '" + value + "'");
+    }
+
+    if (parsed.active() && parsed.periodRecords == 0)
+        return fail(error,
+                    "drift kind '" + kind + "' needs period=N (> 0)");
+
+    *out = parsed;
+    return true;
+}
+
+std::string
+describeDriftSpec(const DriftSpec &spec)
+{
+    const char *kind = "none";
+    switch (spec.kind) {
+      case DriftKind::None:
+        return "none";
+      case DriftKind::Phase:
+        kind = "phase";
+        break;
+      case DriftKind::Gradual:
+        kind = "gradual";
+        break;
+      case DriftKind::Adversarial:
+        kind = "adversarial";
+        break;
+    }
+    char buf[160];
+    if (spec.kind == DriftKind::Adversarial) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s:period=%llu,frac=%g,seed=%llu", kind,
+                      static_cast<unsigned long long>(
+                          spec.periodRecords),
+                      spec.decorrelate,
+                      static_cast<unsigned long long>(spec.seed));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%s:period=%llu,phases=%u,intensity=%g,"
+                      "seed=%llu",
+                      kind,
+                      static_cast<unsigned long long>(
+                          spec.periodRecords),
+                      spec.phases, spec.intensity,
+                      static_cast<unsigned long long>(spec.seed));
+    }
+    return buf;
+}
+
+} // namespace whisper

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Byte-determinism regression for whisper_trace_gen: the generator is
+# a pure function of (app, input, records, drift spec). Same
+# arguments must produce byte-identical traces, `--drift none` must
+# be exactly the no-flag stream, drifting output must be
+# deterministic yet different from the base stream, and malformed
+# drift specs must be rejected with a non-zero exit.
+set -e
+
+BIN_DIR="$1"
+WORK_DIR="${TMPDIR:-/tmp}/trace_gen_det_$$"
+mkdir -p "$WORK_DIR"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+GEN="$BIN_DIR/whisper_trace_gen"
+
+# Same arguments, byte-identical output.
+"$GEN" --app kafka --input 0 --records 80000 \
+    --out "$WORK_DIR/a.whrt" > /dev/null
+"$GEN" --app kafka --input 0 --records 80000 \
+    --out "$WORK_DIR/b.whrt" > /dev/null
+cmp "$WORK_DIR/a.whrt" "$WORK_DIR/b.whrt"
+
+# --drift none is an exact no-op.
+"$GEN" --app kafka --input 0 --records 80000 --drift none \
+    --out "$WORK_DIR/none.whrt" > /dev/null
+cmp "$WORK_DIR/a.whrt" "$WORK_DIR/none.whrt"
+
+# A drifting stream is deterministic...
+DRIFT="phase:period=20000,phases=3,intensity=0.6,seed=5"
+"$GEN" --app kafka --input 0 --records 80000 --drift "$DRIFT" \
+    --out "$WORK_DIR/d1.whrt" > "$WORK_DIR/d1.txt"
+"$GEN" --app kafka --input 0 --records 80000 --drift "$DRIFT" \
+    --out "$WORK_DIR/d2.whrt" > /dev/null
+cmp "$WORK_DIR/d1.whrt" "$WORK_DIR/d2.whrt"
+# ...announces its canonical schedule...
+grep -q "drift: phase:period=20000" "$WORK_DIR/d1.txt"
+# ...and actually differs from the base stream.
+if cmp -s "$WORK_DIR/a.whrt" "$WORK_DIR/d1.whrt"; then
+    echo "drifting stream unexpectedly identical to base" >&2
+    exit 1
+fi
+
+# Different inputs give different streams.
+"$GEN" --app kafka --input 1 --records 80000 \
+    --out "$WORK_DIR/i1.whrt" > /dev/null
+if cmp -s "$WORK_DIR/a.whrt" "$WORK_DIR/i1.whrt"; then
+    echo "input 0 and input 1 unexpectedly identical" >&2
+    exit 1
+fi
+
+# Malformed drift specs must fail loudly, not generate garbage.
+for BAD in "wobble:period=5" "phase" "phase:period=0" \
+    "phase:period=5,bogus=1" "phase:intensity=2"; do
+    if "$GEN" --app kafka --records 1000 --drift "$BAD" \
+        --out "$WORK_DIR/bad.whrt" > /dev/null 2>&1; then
+        echo "bad drift spec '$BAD' was accepted" >&2
+        exit 1
+    fi
+done
+
+echo "trace_gen determinism OK"

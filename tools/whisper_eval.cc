@@ -31,6 +31,7 @@
 #include "core/static_profile.hh"
 #include "core/whisper_io.hh"
 #include "trace/branch_trace.hh"
+#include "trace/cbp_reader.hh"
 #include "sim/experiment.hh"
 #include "sim/sharded_runner.hh"
 #include "util/table.hh"
@@ -46,7 +47,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: whisper_eval --trace FILE [options]\n"
-        "  --trace FILE      evaluation trace (.whrt)\n"
+        "  --trace FILE      evaluation trace (.whrt, or a\n"
+        "                    CBP-style text trace ending in .cbp)\n"
         "  --hints FILE      hint bundle (enables 'whisper')\n"
         "  --profile FILE    saved profile (enables 'profile-static')\n"
         "  --tage-kb N       baseline budget (default 64)\n"
@@ -59,7 +61,12 @@ usage()
         "  --window N        records per shard (default 262144)\n"
         "  --shard-warmup N  warm-prefix records per shard, or\n"
         "                    'full' for the exact serial-equivalent\n"
-        "                    mode (default: half a window)\n");
+        "                    mode (default: half a window)\n"
+        "  --per-epoch       dump per-epoch accuracy lines (one\n"
+        "                    key=value line per epoch window) from\n"
+        "                    an epoch-adaptive run of each predictor\n"
+        "  --epoch-records N records per epoch window for\n"
+        "                    --per-epoch (default 262144)\n");
     std::exit(2);
 }
 
@@ -85,6 +92,8 @@ main(int argc, char **argv)
     double warmup = 0.5;
     bool pipeline = false;
     bool sharded = false;
+    bool perEpoch = false;
+    uint64_t epochRecords = 262'144;
     ShardedRunConfig shardCfg;
     shardCfg.windowRecords = 262'144;
     bool shardWarmupSet = false;
@@ -123,11 +132,20 @@ main(int argc, char **argv)
                 ? ShardedRunConfig::kFullPrefix
                 : static_cast<uint64_t>(std::atoll(v.c_str()));
             shardWarmupSet = true;
-        } else
+        } else if (arg == "--per-epoch")
+            perEpoch = true;
+        else if (arg == "--epoch-records")
+            epochRecords = static_cast<uint64_t>(std::atoll(next()));
+        else
             usage();
     }
     if (tracePath.empty())
         usage();
+    if (epochRecords == 0) {
+        std::fprintf(stderr,
+                     "error: --epoch-records must be positive\n");
+        return 2;
+    }
     if (shardCfg.windowRecords == 0) {
         std::fprintf(stderr, "error: --window must be positive\n");
         return 2;
@@ -137,7 +155,12 @@ main(int argc, char **argv)
     shardCfg.statsWarmupFraction = warmup;
 
     BranchTrace trace;
-    if (IoStatus st = trace.load(tracePath); !st) {
+    bool isCbp = tracePath.size() >= 4 &&
+                 tracePath.compare(tracePath.size() - 4, 4, ".cbp") ==
+                     0;
+    if (IoStatus st = isCbp ? loadCbpTrace(tracePath, &trace)
+                            : trace.load(tracePath);
+        !st) {
         std::fprintf(stderr, "error: %s\n", st.message.c_str());
         return 1;
     }
@@ -246,6 +269,50 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     table.print();
+
+    if (perEpoch) {
+        // Machine-readable accuracy-over-time: one line per epoch
+        // window from an epoch-adaptive run (static predictor — the
+        // refresh hook stays empty, so this shows how a fixed bundle
+        // ages across a drifting stream).
+        std::vector<BranchRecord> records(trace.begin(),
+                                          trace.end());
+        for (const auto &name : predictors) {
+            auto pred = makeByName(name);
+            AdaptiveRunStats stats;
+            if (sharded) {
+                auto run = runPredictorAdaptiveSharded(
+                    records, *pred, epochRecords, nullptr, shardCfg);
+                stats = std::move(run.stats);
+            } else {
+                TraceSource src(trace);
+                stats = runPredictorAdaptive(src, *pred,
+                                             epochRecords, nullptr);
+            }
+            for (size_t e = 0; e < stats.perEpoch.size(); ++e) {
+                const auto &ep = stats.perEpoch[e];
+                std::printf(
+                    "per-epoch predictor=%s epoch=%zu "
+                    "instructions=%llu conditionals=%llu "
+                    "mispredicts=%llu accuracy=%.6f mpki=%.4f\n",
+                    pred->name().c_str(), e,
+                    static_cast<unsigned long long>(
+                        ep.instructions),
+                    static_cast<unsigned long long>(
+                        ep.conditionals),
+                    static_cast<unsigned long long>(ep.mispredicts),
+                    ep.accuracy(), ep.mpki());
+            }
+            std::printf("per-epoch-summary predictor=%s epochs=%zu "
+                        "epoch-records=%llu accuracy=%.6f "
+                        "mpki=%.4f\n",
+                        pred->name().c_str(),
+                        stats.perEpoch.size(),
+                        static_cast<unsigned long long>(
+                            epochRecords),
+                        stats.total.accuracy(), stats.total.mpki());
+        }
+    }
 
     if (sharded) {
         // Per-shard timing block: the measurable side of the

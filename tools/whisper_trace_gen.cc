@@ -29,11 +29,17 @@ usage()
     std::fprintf(
         stderr,
         "usage: whisper_trace_gen --app NAME [--input N] "
-        "[--records N] --out FILE\n"
+        "[--records N] [--drift SPEC] --out FILE\n"
         "  --app      application model (see whisper_trace_stats "
         "--list)\n"
         "  --input    workload input id (default 0)\n"
         "  --records  branch records to emit (default 2000000)\n"
+        "  --drift    mid-stream drift schedule, "
+        "KIND[:key=value,...]\n"
+        "             kinds: none|phase|gradual|adversarial; keys: "
+        "period,\n"
+        "             phases, intensity, frac, seed (e.g. "
+        "phase:period=50000,phases=4)\n"
         "  --out      output trace file\n");
     std::exit(2);
 }
@@ -43,7 +49,7 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string appName, outPath;
+    std::string appName, outPath, driftArg;
     uint32_t input = 0;
     uint64_t records = 2'000'000;
 
@@ -60,6 +66,8 @@ main(int argc, char **argv)
             input = static_cast<uint32_t>(std::atoi(next()));
         else if (arg == "--records")
             records = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--drift")
+            driftArg = next();
         else if (arg == "--out")
             outPath = next();
         else
@@ -67,6 +75,16 @@ main(int argc, char **argv)
     }
     if (appName.empty() || outPath.empty())
         usage();
+
+    DriftSpec drift;
+    if (!driftArg.empty()) {
+        std::string error;
+        if (!parseDriftSpec(driftArg, &drift, &error)) {
+            std::fprintf(stderr, "error: --drift %s: %s\n",
+                         driftArg.c_str(), error.c_str());
+            return 2;
+        }
+    }
 
     const AppConfig *appPtr = findAppByName(appName);
     if (!appPtr) {
@@ -79,7 +97,7 @@ main(int argc, char **argv)
         return 2;
     }
     const AppConfig &app = *appPtr;
-    AppWorkload workload(app, input, records);
+    AppWorkload workload(app, input, records, drift);
     BranchTrace trace(app.name, input);
     trace.fill(workload, records);
 
@@ -88,6 +106,9 @@ main(int argc, char **argv)
                      outPath.c_str());
         return 1;
     }
+    if (drift.active())
+        std::printf("drift: %s\n",
+                    describeDriftSpec(drift).c_str());
     std::printf("%s: %zu records, %llu instructions, %llu "
                 "conditionals -> %s\n",
                 app.name.c_str(), trace.size(),

@@ -5,7 +5,9 @@
  * built-in application models.
  *
  * Usage:
- *   whisper_trace_stats TRACE.whrt [--top N]
+ *   whisper_trace_stats TRACE.{whrt,cbp} [--top N]
+ *   whisper_trace_stats --convert-cbp IN.cbp OUT.whrt
+ *   whisper_trace_stats --export-cbp IN.whrt OUT.cbp
  *   whisper_trace_stats --list
  */
 
@@ -17,14 +19,65 @@
 #include <vector>
 
 #include "trace/branch_trace.hh"
+#include "trace/cbp_reader.hh"
 #include "util/table.hh"
 #include "workloads/app_workload.hh"
 
 using namespace whisper;
 
+namespace
+{
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Load either native .whrt or CBP-style text (by extension). */
+IoStatus
+loadAnyTrace(const std::string &path, BranchTrace *out)
+{
+    if (hasSuffix(path, ".cbp"))
+        return loadCbpTrace(path, out);
+    return out->load(path);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && (std::string(argv[1]) == "--convert-cbp" ||
+                      std::string(argv[1]) == "--export-cbp")) {
+        bool toWhrt = std::string(argv[1]) == "--convert-cbp";
+        if (argc != 4) {
+            std::fprintf(stderr,
+                         "usage: whisper_trace_stats %s IN OUT\n",
+                         argv[1]);
+            return 2;
+        }
+        BranchTrace trace;
+        IoStatus st = toWhrt ? loadCbpTrace(argv[2], &trace)
+                             : trace.load(argv[2]);
+        if (!st) {
+            std::fprintf(stderr, "error: %s\n", st.message.c_str());
+            return 1;
+        }
+        bool saved = toWhrt ? trace.save(argv[3])
+                            : saveCbpTrace(trace, argv[3]);
+        if (!saved) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         argv[3]);
+            return 1;
+        }
+        std::printf("%s: %zu records (app=%s input=%u) -> %s\n",
+                    argv[2], trace.size(), trace.app().c_str(),
+                    trace.inputId(), argv[3]);
+        return 0;
+    }
     if (argc >= 2 && std::string(argv[1]) == "--list") {
         TableReporter t("application models");
         t.setHeader({"name", "family", "regions", "request-types"});
@@ -41,8 +94,9 @@ main(int argc, char **argv)
     }
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: whisper_trace_stats TRACE.whrt "
-                     "[--top N] | --list\n");
+                     "usage: whisper_trace_stats TRACE.{whrt,cbp} "
+                     "[--top N] | --convert-cbp IN OUT | "
+                     "--export-cbp IN OUT | --list\n");
         return 2;
     }
 
@@ -51,7 +105,7 @@ main(int argc, char **argv)
         topN = std::strtoull(argv[3], nullptr, 10);
 
     BranchTrace trace;
-    if (IoStatus st = trace.load(argv[1]); !st) {
+    if (IoStatus st = loadAnyTrace(argv[1], &trace); !st) {
         std::fprintf(stderr, "error: %s\n", st.message.c_str());
         return 1;
     }
