@@ -1,0 +1,153 @@
+/**
+ * @file
+ * WhisperClient: the agent-side library for talking to a whisperd
+ * wire server without losing chunks.
+ *
+ * The reliability contract (what whisper_loadgen asserts under
+ * chaos):
+ *
+ *  - ingestChunk() returning true means the server acknowledged the
+ *    chunk — it is in the tenant pipeline (or was already, if the
+ *    ack was a duplicate-ack for a retransmission). An acknowledged
+ *    chunk is never lost.
+ *  - Any failure before the ack (connect refused, send error, torn
+ *    connection, CRC reject, backpressure, timeout) is retried:
+ *    reconnect if needed, retransmit the same (app, stream, seq).
+ *    Because ingest is idempotent per (app, stream, seq), blind
+ *    retransmission is always safe.
+ *  - Retries use capped exponential backoff with deterministic
+ *    jitter (seeded per stream) so hundreds of agents hammered by
+ *    the same listener restart do not reconnect in lockstep.
+ *    RETRY_AFTER overrides the backoff with the server's hint.
+ *  - pullBundle() caches by epoch: an unchanged deployment costs a
+ *    24-byte round trip, not a bundle decode.
+ *
+ * The client is deliberately synchronous (stop-and-wait per chunk):
+ * concurrency comes from running many agents, as in the load
+ * harness, not from pipelining inside one connection.
+ */
+
+#ifndef WHISPER_NET_WHISPER_CLIENT_HH
+#define WHISPER_NET_WHISPER_CLIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/whisper_io.hh"
+#include "net/wire_protocol.hh"
+#include "trace/branch_record.hh"
+
+namespace whisper
+{
+
+struct WhisperClientConfig
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string stream = "client"; //!< sequence-number namespace
+    /** Per-operation receive deadline. */
+    uint32_t recvTimeoutMs = 2'000;
+    /** Retry schedule: backoff doubles from initial to cap, with
+     * deterministic jitter in [0, backoff/2). */
+    uint32_t initialBackoffMs = 5;
+    uint32_t maxBackoffMs = 250;
+    /** Attempts per chunk before ingestChunk() gives up. Reconnects
+     * count as attempts; the default absorbs a full listener restart
+     * plus injected wire faults. */
+    unsigned maxAttempts = 50;
+    uint64_t jitterSeed = 1;
+};
+
+/** Client-side counters for the load harness. */
+struct WhisperClientStats
+{
+    uint64_t chunksAcked = 0;
+    uint64_t duplicateAcks = 0;
+    uint64_t retries = 0;        //!< retransmissions (any cause)
+    uint64_t reconnects = 0;
+    uint64_t retryAfters = 0;    //!< backpressure frames honored
+    uint64_t crcRejects = 0;     //!< server said BadCrc; retransmitted
+    uint64_t timeouts = 0;
+    uint64_t bundlePulls = 0;
+    uint64_t bundleHits = 0;     //!< epoch-cache hits (unchanged)
+};
+
+class WhisperClient
+{
+  public:
+    explicit WhisperClient(WhisperClientConfig cfg);
+    ~WhisperClient();
+
+    WhisperClient(const WhisperClient &) = delete;
+    WhisperClient &operator=(const WhisperClient &) = delete;
+
+    /**
+     * Reliably ingest one chunk under the next sequence number for
+     * @p app on this client's stream. Blocks through reconnects and
+     * retransmissions; @return true once the server acknowledges.
+     * False only after cfg.maxAttempts consecutive failures or a
+     * permanent error (unknown app, protocol version mismatch) —
+     * lastError() says which.
+     */
+    bool ingestChunk(const std::string &app, uint32_t inputId,
+                     const std::vector<BranchRecord> &records);
+
+    /**
+     * Pull @p app's deployed bundle, reusing the epoch cache: when
+     * the server's epoch equals the cached one the call is a
+     * BUNDLE_UNCHANGED round trip and the cached copy is returned.
+     * @return nullopt on permanent error or retry exhaustion.
+     */
+    std::optional<VersionedHintBundle>
+    pullBundle(const std::string &app);
+
+    /** Sequence number the next ingestChunk() for @p app will use. */
+    uint64_t nextSeq(const std::string &app) const;
+
+    const WhisperClientStats &stats() const { return stats_; }
+    const std::string &lastError() const { return lastError_; }
+
+    /** Drop the connection (next call reconnects). Test hook. */
+    void disconnect();
+
+  private:
+    bool ensureConnected();
+    bool sendFrameFaulted(const std::vector<unsigned char> &frame,
+                          unsigned attempt);
+    bool sendAll(const unsigned char *data, size_t n);
+    /** Receive frames until one with @p op or @p op2 (or ERROR /
+     * RETRY_AFTER) arrives or the deadline passes. */
+    enum class RecvOutcome
+    {
+        Got,        //!< `out` holds the awaited frame
+        RetryAfter, //!< server asked to back off (waitMs filled)
+        Transient,  //!< timeout / disconnect / crc — retry
+        Permanent,  //!< unrecoverable ERROR (lastError_ filled)
+    };
+    RecvOutcome recvUntil(WireOp op, WireOp op2, WireFrame &out,
+                          uint32_t &waitMs);
+    void backoff(unsigned attempt, uint32_t serverWaitMs);
+
+    WhisperClientConfig cfg_;
+    int fd_ = -1;
+    FrameParser parser_;
+    WhisperClientStats stats_;
+    std::string lastError_;
+    uint64_t jitterState_;
+
+    struct AppState
+    {
+        uint64_t nextSeq = 0;
+        uint64_t cachedEpoch = 0;
+        bool haveCached = false;
+        VersionedHintBundle cached;
+    };
+    std::map<std::string, AppState> apps_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_NET_WHISPER_CLIENT_HH

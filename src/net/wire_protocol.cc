@@ -1,0 +1,313 @@
+#include "net/wire_protocol.hh"
+
+#include <cstring>
+
+#include "util/crc32.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+void
+putU32(std::vector<unsigned char> &buf, uint32_t v)
+{
+    buf.push_back(static_cast<unsigned char>(v));
+    buf.push_back(static_cast<unsigned char>(v >> 8));
+    buf.push_back(static_cast<unsigned char>(v >> 16));
+    buf.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+} // namespace
+
+std::vector<unsigned char>
+encodeFrame(WireOp op, const std::vector<unsigned char> &payload)
+{
+    std::vector<unsigned char> out;
+    out.reserve(WireFrame::kHeaderBytes + payload.size());
+    putU32(out, WireFrame::kMagic);
+    putU32(out, static_cast<uint32_t>(op));
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    putU32(out, crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+FrameParser::feed(const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+}
+
+FrameParser::Result
+FrameParser::next(WireFrame &out)
+{
+    // Reclaim consumed prefix once it dominates the buffer.
+    if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    if (buffered() < WireFrame::kHeaderBytes)
+        return Result::NeedMore;
+
+    const unsigned char *hdr = buffer_.data() + pos_;
+    if (getU32(hdr) != WireFrame::kMagic)
+        return Result::BadMagic;
+    uint32_t op = getU32(hdr + 4);
+    uint32_t length = getU32(hdr + 8);
+    uint32_t crc = getU32(hdr + 12);
+    if (length > WireFrame::kMaxPayload)
+        return Result::TooLarge;
+    if (buffered() < WireFrame::kHeaderBytes + length)
+        return Result::NeedMore;
+
+    const unsigned char *payload = hdr + WireFrame::kHeaderBytes;
+    bool crcOk = crc32(payload, length) == crc;
+    if (crcOk) {
+        out.op = static_cast<WireOp>(op);
+        out.payload.assign(payload, payload + length);
+    }
+    pos_ += WireFrame::kHeaderBytes + length;
+    return crcOk ? Result::Frame : Result::BadCrc;
+}
+
+// ---- WireWriter / WireReader -------------------------------------
+
+void
+WireWriter::u32(uint32_t v)
+{
+    putU32(buf_, v);
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    putU32(buf_, static_cast<uint32_t>(v));
+    putU32(buf_, static_cast<uint32_t>(v >> 32));
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+void
+WireWriter::bytes(const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    buf_.insert(buf_.end(), p, p + n);
+}
+
+uint32_t
+WireReader::u32()
+{
+    if (!ok_ || size_ - pos_ < 4) {
+        ok_ = false;
+        return 0;
+    }
+    uint32_t v = getU32(data_ + pos_);
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+WireReader::u64()
+{
+    uint64_t lo = u32();
+    uint64_t hi = u32();
+    return lo | hi << 32;
+}
+
+std::string
+WireReader::str()
+{
+    uint32_t len = u32();
+    if (!ok_ || len > WireFrame::kMaxString ||
+        size_ - pos_ < len) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+bool
+WireReader::bytes(void *out, size_t n)
+{
+    if (!ok_ || size_ - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+// ---- typed messages ----------------------------------------------
+
+std::vector<unsigned char>
+encodeHello(const HelloMsg &m)
+{
+    WireWriter w;
+    w.u32(m.version);
+    w.str(m.client);
+    return w.take();
+}
+
+std::vector<unsigned char>
+encodeHelloOk(const HelloMsg &m)
+{
+    return encodeHello(m);
+}
+
+bool
+decodeHello(const std::vector<unsigned char> &p, HelloMsg &m)
+{
+    WireReader r(p);
+    m.version = r.u32();
+    m.client = r.str();
+    return r.done();
+}
+
+std::vector<unsigned char>
+encodeIngestChunk(const IngestChunkMsg &m)
+{
+    WireWriter w;
+    w.str(m.app);
+    w.str(m.stream);
+    w.u32(m.inputId);
+    w.u64(m.seq);
+    w.u32(static_cast<uint32_t>(m.records.size()));
+    w.bytes(m.records.data(),
+            m.records.size() * sizeof(BranchRecord));
+    return w.take();
+}
+
+bool
+decodeIngestChunk(const std::vector<unsigned char> &p,
+                  IngestChunkMsg &m)
+{
+    WireReader r(p);
+    m.app = r.str();
+    m.stream = r.str();
+    m.inputId = r.u32();
+    m.seq = r.u64();
+    uint32_t count = r.u32();
+    if (!r.ok() ||
+        static_cast<uint64_t>(count) * sizeof(BranchRecord) !=
+            r.remaining()) {
+        return false;
+    }
+    m.records.resize(count);
+    return r.bytes(m.records.data(), count * sizeof(BranchRecord)) &&
+           r.done();
+}
+
+std::vector<unsigned char>
+encodeChunkAck(const ChunkAckMsg &m)
+{
+    WireWriter w;
+    w.u64(m.seq);
+    w.u32(m.status);
+    return w.take();
+}
+
+bool
+decodeChunkAck(const std::vector<unsigned char> &p, ChunkAckMsg &m)
+{
+    WireReader r(p);
+    m.seq = r.u64();
+    m.status = r.u32();
+    return r.done();
+}
+
+std::vector<unsigned char>
+encodeRetryAfter(const RetryAfterMsg &m)
+{
+    WireWriter w;
+    w.u64(m.seq);
+    w.u32(m.waitMs);
+    return w.take();
+}
+
+bool
+decodeRetryAfter(const std::vector<unsigned char> &p,
+                 RetryAfterMsg &m)
+{
+    WireReader r(p);
+    m.seq = r.u64();
+    m.waitMs = r.u32();
+    return r.done();
+}
+
+std::vector<unsigned char>
+encodePullBundle(const PullBundleMsg &m)
+{
+    WireWriter w;
+    w.str(m.app);
+    w.u64(m.cachedEpoch);
+    return w.take();
+}
+
+bool
+decodePullBundle(const std::vector<unsigned char> &p,
+                 PullBundleMsg &m)
+{
+    WireReader r(p);
+    m.app = r.str();
+    m.cachedEpoch = r.u64();
+    return r.done();
+}
+
+std::vector<unsigned char>
+encodeBundleUnchanged(uint64_t epoch)
+{
+    WireWriter w;
+    w.u64(epoch);
+    return w.take();
+}
+
+bool
+decodeBundleUnchanged(const std::vector<unsigned char> &p,
+                      uint64_t &epoch)
+{
+    WireReader r(p);
+    epoch = r.u64();
+    return r.done();
+}
+
+std::vector<unsigned char>
+encodeError(const ErrorMsg &m)
+{
+    WireWriter w;
+    w.u32(static_cast<uint32_t>(m.code));
+    w.str(m.message);
+    return w.take();
+}
+
+bool
+decodeError(const std::vector<unsigned char> &p, ErrorMsg &m)
+{
+    WireReader r(p);
+    m.code = static_cast<WireError>(r.u32());
+    m.message = r.str();
+    return r.done();
+}
+
+} // namespace whisper

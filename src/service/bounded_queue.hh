@@ -14,6 +14,7 @@
 #ifndef WHISPER_SERVICE_BOUNDED_QUEUE_HH
 #define WHISPER_SERVICE_BOUNDED_QUEUE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -83,6 +84,31 @@ class BoundedQueue
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Timed push: block up to @p timeout for room, then enqueue.
+     * @return false when the deadline passed with the queue still
+     * full, or the queue was closed (item not enqueued either way).
+     * close() wakes blocked timed pushers immediately — shutdown
+     * never waits out the timeout.
+     */
+    template <typename Rep, typename Period>
+    bool
+    tryPushFor(T item,
+               const std::chrono::duration<Rep, Period> &timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!notFull_.wait_for(lock, timeout, [&] {
+                return closed_ || items_.size() < capacity_;
+            })) {
+            return false; // deadline passed, still full
+        }
+        if (closed_)
             return false;
         items_.push_back(std::move(item));
         notEmpty_.notify_one();

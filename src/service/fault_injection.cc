@@ -76,12 +76,26 @@ FaultInjector::reset()
     failTrainEnabled_ = false;
     failTrainIndex_ = 0;
     failTrainAttempts_ = 1'000'000;
+    wireCorruptPeriod_ = 0;
+    wireTearPeriod_ = 0;
+    wireKillPeriod_ = 0;
+    wireStallPeriod_ = 0;
+    wireStallMs_ = 50;
+    wireSends_ = 0;
+    listenerRestartAfter_ = 0;
+    listenerChunks_ = 0;
+    listenerRestartDone_ = false;
     framesCorrupted_ = 0;
     readsFailed_ = 0;
     writesTorn_ = 0;
     workerStalls_ = 0;
     workerKills_ = 0;
     trainFailures_ = 0;
+    wireCorrupted_ = 0;
+    wireTorn_ = 0;
+    wireKills_ = 0;
+    wireStalled_ = 0;
+    listenerRestarts_ = 0;
 }
 
 bool
@@ -187,6 +201,50 @@ FaultInjector::configure(const std::string &spec, std::string *error)
                     failTrainAttempts_ = static_cast<unsigned>(v);
                 }
             }
+        } else if (key == "wire-corrupt") {
+            wireCorruptPeriod_ = 8;
+            if (!value.empty() &&
+                (!parseU64(value, wireCorruptPeriod_) ||
+                 wireCorruptPeriod_ == 0)) {
+                return fail("wire-corrupt: bad period '" + value +
+                            "'");
+            }
+        } else if (key == "wire-tear") {
+            wireTearPeriod_ = 16;
+            if (!value.empty() &&
+                (!parseU64(value, wireTearPeriod_) ||
+                 wireTearPeriod_ == 0)) {
+                return fail("wire-tear: bad period '" + value + "'");
+            }
+        } else if (key == "wire-kill") {
+            wireKillPeriod_ = 16;
+            if (!value.empty() &&
+                (!parseU64(value, wireKillPeriod_) ||
+                 wireKillPeriod_ == 0)) {
+                return fail("wire-kill: bad period '" + value + "'");
+            }
+        } else if (key == "wire-stall") {
+            wireStallPeriod_ = 32;
+            if (!value.empty()) {
+                std::string period, ms;
+                splitPair(value, period, ms);
+                if (!period.empty() &&
+                    (!parseU64(period, wireStallPeriod_) ||
+                     wireStallPeriod_ == 0)) {
+                    return fail("wire-stall: bad period '" + period +
+                                "'");
+                }
+                if (!ms.empty() && !parseU64(ms, wireStallMs_))
+                    return fail("wire-stall: bad ms '" + ms + "'");
+            }
+        } else if (key == "restart-listener") {
+            listenerRestartAfter_ = 8;
+            if (!value.empty() &&
+                (!parseU64(value, listenerRestartAfter_) ||
+                 listenerRestartAfter_ == 0)) {
+                return fail("restart-listener: bad count '" + value +
+                            "'");
+            }
         } else if (key == "seed") {
             if (!parseU64(value, flipSeed_))
                 return fail("seed: bad value '" + value + "'");
@@ -256,6 +314,56 @@ FaultInjector::shouldKillWorker(unsigned worker)
     if (killDone_.exchange(true))
         return false;
     workerKills_.fetch_add(1);
+    return true;
+}
+
+FaultInjector::WireSendPlan
+FaultInjector::wireSendPlan(unsigned attempt)
+{
+    bool any = wireCorruptPeriod_ || wireTearPeriod_ ||
+               wireKillPeriod_ || wireStallPeriod_;
+    if (!enabled_ || !any || attempt != 1)
+        return WireSendPlan::Normal;
+    // The index advances on first attempts only, so a chunk that was
+    // faulted once retransmits clean — every injected fault makes
+    // progress instead of livelocking.
+    uint64_t n = wireSends_.fetch_add(1);
+    // Distinct phase offsets so co-armed tokens with common factors
+    // do not all claim the same send (folded by each period so a
+    // period-1 token still fires on every send).
+    if (wireCorruptPeriod_ &&
+        n % wireCorruptPeriod_ == 0 % wireCorruptPeriod_) {
+        wireCorrupted_.fetch_add(1);
+        return WireSendPlan::CorruptPayload;
+    }
+    if (wireTearPeriod_ &&
+        n % wireTearPeriod_ == 1 % wireTearPeriod_) {
+        wireTorn_.fetch_add(1);
+        return WireSendPlan::TearAndDrop;
+    }
+    if (wireKillPeriod_ &&
+        n % wireKillPeriod_ == 2 % wireKillPeriod_) {
+        wireKills_.fetch_add(1);
+        return WireSendPlan::KillAfterSend;
+    }
+    if (wireStallPeriod_ &&
+        n % wireStallPeriod_ == 3 % wireStallPeriod_) {
+        wireStalled_.fetch_add(1);
+        return WireSendPlan::StallMidFrame;
+    }
+    return WireSendPlan::Normal;
+}
+
+bool
+FaultInjector::shouldRestartListener()
+{
+    if (!enabled_ || listenerRestartAfter_ == 0)
+        return false;
+    if (listenerChunks_.fetch_add(1) + 1 < listenerRestartAfter_)
+        return false;
+    if (listenerRestartDone_.exchange(true))
+        return false;
+    listenerRestarts_.fetch_add(1);
     return true;
 }
 

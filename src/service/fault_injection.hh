@@ -27,6 +27,29 @@
  *                         degrades the branch). Default 0:1000000.
  *   seed=N                RNG seed for bit-flip positions.
  *
+ * Wire-layer faults (client side, applied to the FIRST transmission
+ * attempt of every P-th chunk so a retransmission always makes
+ * progress; see src/net/):
+ *
+ *   wire-corrupt[=P]      flip one payload byte after the CRC is
+ *                         computed (server detects the mismatch and
+ *                         answers ERROR(BadCrc); the client must
+ *                         retransmit). Default P=8.
+ *   wire-tear[=P]         send only half the frame, then hard-close
+ *                         the socket (mid-frame connection kill seen
+ *                         by the server as a torn stream). Default 16.
+ *   wire-kill[=P]         send the whole frame, then close before
+ *                         reading the ack (exercises idempotent
+ *                         duplicate-ack on retransmit). Default 16.
+ *   wire-stall[=P:MS]     stall MS milliseconds between the header
+ *                         and the payload bytes (slow-loris writer;
+ *                         a stall beyond the server's idle timeout
+ *                         gets the connection reaped). Default 32:50.
+ *   restart-listener[=N]  server side: after the N-th ingested chunk
+ *                         the listener and every connection are torn
+ *                         down and re-opened once (clients must
+ *                         reconnect and retransmit). Default 8.
+ *
  * All decisions are deterministic functions of the spec plus
  * event counters, so a failing run replays exactly.
  */
@@ -87,6 +110,27 @@ class FaultInjector
      * item @p taskIndex should fail. */
     bool failTraining(size_t taskIndex, unsigned attempt);
 
+    // ---- wire-layer hooks (see src/net/) ----
+
+    /** What the client should do to the frame it is about to send.
+     * Only first attempts (@p attempt == 1) are ever faulted; the
+     * per-token periods advance on first attempts only, so the
+     * decision is a deterministic function of the send index. */
+    enum class WireSendPlan
+    {
+        Normal,
+        CorruptPayload, //!< flip a payload byte after CRC
+        TearAndDrop,    //!< send half the frame, close the socket
+        KillAfterSend,  //!< send fully, close before the ack
+        StallMidFrame,  //!< sleep wireStallMs() mid-frame
+    };
+    WireSendPlan wireSendPlan(unsigned attempt);
+    uint64_t wireStallMs() const { return wireStallMs_; }
+
+    /** Called by the server once per accepted chunk; @return true
+     * exactly once, when the restart-listener threshold is hit. */
+    bool shouldRestartListener();
+
     // ---- observability ----
     uint64_t framesCorrupted() const { return framesCorrupted_; }
     uint64_t readsFailed() const { return readsFailed_; }
@@ -94,6 +138,11 @@ class FaultInjector
     uint64_t workerStalls() const { return workerStalls_; }
     uint64_t workerKills() const { return workerKills_; }
     uint64_t trainFailures() const { return trainFailures_; }
+    uint64_t wireFramesCorrupted() const { return wireCorrupted_; }
+    uint64_t wireFramesTorn() const { return wireTorn_; }
+    uint64_t wireConnKills() const { return wireKills_; }
+    uint64_t wireStalls() const { return wireStalled_; }
+    uint64_t listenerRestarts() const { return listenerRestarts_; }
 
   private:
     FaultInjector() = default;
@@ -129,12 +178,28 @@ class FaultInjector
     size_t failTrainIndex_ = 0;
     unsigned failTrainAttempts_ = 1'000'000;
 
+    // wire faults (periods advance on first-attempt sends only)
+    uint64_t wireCorruptPeriod_ = 0; //!< 0 = disabled
+    uint64_t wireTearPeriod_ = 0;
+    uint64_t wireKillPeriod_ = 0;
+    uint64_t wireStallPeriod_ = 0;
+    uint64_t wireStallMs_ = 50;
+    std::atomic<uint64_t> wireSends_{0};
+    uint64_t listenerRestartAfter_ = 0; //!< chunks; 0 = disabled
+    std::atomic<uint64_t> listenerChunks_{0};
+    std::atomic<bool> listenerRestartDone_{false};
+
     std::atomic<uint64_t> framesCorrupted_{0};
     std::atomic<uint64_t> readsFailed_{0};
     std::atomic<uint64_t> writesTorn_{0};
     std::atomic<uint64_t> workerStalls_{0};
     std::atomic<uint64_t> workerKills_{0};
     std::atomic<uint64_t> trainFailures_{0};
+    std::atomic<uint64_t> wireCorrupted_{0};
+    std::atomic<uint64_t> wireTorn_{0};
+    std::atomic<uint64_t> wireKills_{0};
+    std::atomic<uint64_t> wireStalled_{0};
+    std::atomic<uint64_t> listenerRestarts_{0};
 };
 
 } // namespace whisper

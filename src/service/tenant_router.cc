@@ -203,6 +203,30 @@ TenantRouter::offer(TraceChunk chunk)
     return true;
 }
 
+TenantRouter::OfferOutcome
+TenantRouter::tryOffer(TraceChunk chunk)
+{
+    Tenant *tenant = registry_.find(chunk.app);
+    if (!tenant) {
+        if (!cfg_.autoRegister) {
+            ++unknownAppChunks_;
+            return OfferOutcome::UnknownApp;
+        }
+        tenant = addTenant(chunk.app);
+    }
+    size_t records = chunk.records.size();
+    if (!tenant->queue.tryPush(std::move(chunk))) {
+        // Not a drop: the caller reports backpressure and the client
+        // retransmits, so no counter moves here.
+        return OfferOutcome::Backpressure;
+    }
+    tenant->withCounters([&](Tenant::Counters &c) {
+        ++c.chunksRouted;
+        c.recordsRouted += records;
+    });
+    return OfferOutcome::Accepted;
+}
+
 void
 TenantRouter::runFromQueue(BoundedQueue<TraceChunk> &queue)
 {

@@ -37,6 +37,7 @@
 #ifndef WHISPER_SERVICE_TENANT_ROUTER_HH
 #define WHISPER_SERVICE_TENANT_ROUTER_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -166,6 +167,24 @@ class TenantRouter
      */
     bool offer(TraceChunk chunk);
 
+    /** Distinguishes the wire server's reply per tryOffer() verdict:
+     * ack, permanent error, or RETRY_AFTER. */
+    enum class OfferOutcome
+    {
+        Accepted,
+        UnknownApp,
+        Backpressure,
+    };
+
+    /**
+     * Like offer(), but a full tenant queue is reported as
+     * Backpressure WITHOUT counting a drop: the caller (the wire
+     * server) answers RETRY_AFTER and the client retransmits, so
+     * nothing was lost. Only unknown apps still count (the chunk is
+     * genuinely refused).
+     */
+    OfferOutcome tryOffer(TraceChunk chunk);
+
     /** Consume an externally produced chunk stream: start(), route
      * every chunk, then finish(). The queue must be closed by its
      * producers for this to return. */
@@ -212,7 +231,8 @@ class TenantRouter
     // finish()).
     uint64_t chunksIngested_ = 0;
     uint64_t recordsIngested_ = 0;
-    uint64_t unknownAppChunks_ = 0;
+    /** Atomic: bumped from the wire server's event thread too. */
+    std::atomic<uint64_t> unknownAppChunks_{0};
     uint64_t filesIngested_ = 0;
     uint64_t chunksSkipped_ = 0;
     uint64_t recordsSkipped_ = 0;

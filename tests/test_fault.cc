@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/fault_injection.hh"
@@ -224,6 +226,87 @@ TEST_F(FaultTest, InjectedTornAppendSelfHeals)
     EXPECT_TRUE(again[0] == makeBundle(1, 3));
     EXPECT_TRUE(again[1] == makeBundle(3, 3));
     EXPECT_EQ(FaultInjector::instance().writesTorn(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(HintJournal, CompactionRacingConcurrentAppendThenReplay)
+{
+    // The restart race: whisperd reopens a torn journal (open()
+    // compacts through temp file + atomic rename) and immediately
+    // starts appending fresh deployments, while an observer —
+    // a crashed-and-restarting reader, or an operator's inspection
+    // tool — replays the same path concurrently. Every concurrent
+    // replay must see a valid ascending prefix (rename is atomic,
+    // a half-written append reads as a torn tail), and once the
+    // writer is done a restart-replay must recover every generation
+    // and land on the writer's exact final epoch.
+    std::string path = "/tmp/whisper_test_journal_race.wal";
+    std::remove(path.c_str());
+    constexpr uint64_t kSeedGens = 6;
+    constexpr uint64_t kLiveGens = 40;
+    {
+        HintJournal journal;
+        std::vector<VersionedHintBundle> replayed;
+        ASSERT_TRUE(journal.open(path, replayed).ok());
+        for (uint64_t e = 1; e <= kSeedGens; ++e)
+            ASSERT_TRUE(journal.append(makeBundle(e, 3)));
+    }
+    // Crash mid-append: tear the last record so open() must compact.
+    long full = fileSize(path);
+    ASSERT_GT(full, 10);
+    truncateFile(path, full - 9);
+
+    std::atomic<bool> writerDone{false};
+    std::atomic<bool> replayBroken{false};
+    std::atomic<uint64_t> replays{0};
+    std::thread reader([&] {
+        while (!writerDone.load()) {
+            std::vector<VersionedHintBundle> seen =
+                HintJournal::replay(path);
+            ++replays;
+            uint64_t prev = 0;
+            for (const auto &gen : seen) {
+                if (gen.epoch <= prev ||
+                    gen.epoch > kSeedGens + kLiveGens) {
+                    replayBroken = true;
+                    return;
+                }
+                prev = gen.epoch;
+            }
+        }
+    });
+
+    HintJournal journal;
+    std::vector<VersionedHintBundle> replayed;
+    HintJournal::RecoveryInfo info;
+    ASSERT_TRUE(journal.open(path, replayed, &info).ok());
+    ASSERT_EQ(replayed.size(), kSeedGens - 1); // torn gen dropped
+    EXPECT_TRUE(info.compacted);
+    uint64_t epoch = replayed.back().epoch;
+    for (uint64_t i = 0; i < kLiveGens; ++i)
+        ASSERT_TRUE(journal.append(makeBundle(++epoch, 2)));
+    journal.close();
+    writerDone = true;
+    reader.join();
+
+    EXPECT_FALSE(replayBroken.load());
+    EXPECT_GT(replays.load(), 0u);
+
+    // Restart-replay: the post-compaction journal recovers the
+    // surviving seed prefix plus every live append, ending on the
+    // writer's final epoch.
+    std::vector<VersionedHintBundle> recovered =
+        HintJournal::replay(path);
+    ASSERT_EQ(recovered.size(), kSeedGens - 1 + kLiveGens);
+    EXPECT_EQ(recovered.back().epoch, epoch);
+    for (size_t i = 1; i < recovered.size(); ++i)
+        EXPECT_LT(recovered[i - 1].epoch, recovered[i].epoch);
+
+    // And a HintStore restored from it resumes at that epoch.
+    HintStore store;
+    EXPECT_EQ(store.restore(std::move(recovered)),
+              kSeedGens - 1 + kLiveGens);
+    EXPECT_EQ(store.epoch(), epoch);
     std::remove(path.c_str());
 }
 

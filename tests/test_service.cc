@@ -190,6 +190,58 @@ TEST(BoundedQueue, ShutdownStressManyProducersConsumers)
     EXPECT_EQ(poppedSum.load(), pushedSum.load());
 }
 
+TEST(BoundedQueue, TryPushForDeadlineSemantics)
+{
+    BoundedQueue<int> q(1);
+    // Room available: succeeds immediately regardless of timeout.
+    EXPECT_TRUE(q.tryPushFor(1, std::chrono::milliseconds(0)));
+    // Full: a short deadline expires and reports failure without
+    // dropping or duplicating anything.
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.tryPushFor(2, std::chrono::milliseconds(50)));
+    auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(waited, std::chrono::milliseconds(45));
+    // Room reappears: a concurrently waiting timed push completes
+    // well before its deadline.
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        int v = 0;
+        ASSERT_TRUE(q.pop(v));
+    });
+    EXPECT_TRUE(q.tryPushFor(3, std::chrono::seconds(10)));
+    consumer.join();
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedTimedPushPromptly)
+{
+    // The shutdown race this API exists for: a producer parked in a
+    // long timed push must observe close() immediately, not wait out
+    // its deadline. Generous threshold (2s vs the 30s deadline) to
+    // absorb scheduler noise on loaded CI machines.
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(0)); // fill
+    std::atomic<bool> pushed{false};
+    std::chrono::steady_clock::duration blockedFor{};
+    std::thread producer([&] {
+        auto t0 = std::chrono::steady_clock::now();
+        pushed = q.tryPushFor(1, std::chrono::seconds(30));
+        blockedFor = std::chrono::steady_clock::now() - t0;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    producer.join();
+    EXPECT_FALSE(pushed.load());
+    EXPECT_LT(blockedFor, std::chrono::seconds(2));
+    // Pre-close items still drain after the aborted push.
+    int v = -1;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 0);
+    EXPECT_FALSE(q.pop(v));
+}
+
 // --------------------------------------------------------------------
 // TraceStreamReader / ChunkIngestor
 // --------------------------------------------------------------------

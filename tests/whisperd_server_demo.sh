@@ -1,0 +1,203 @@
+#!/bin/sh
+# Loopback end-to-end demo of whisperd's wire server, in three legs:
+#
+#   chaos        — whisper_loadgen drives a fleet of concurrent
+#                  agents (default 128; WHISPER_SERVER_DEMO_AGENTS
+#                  overrides, e.g. for TSan CI) through an active
+#                  wire fault spec: corrupt CRCs, torn frames,
+#                  mid-frame connection kills, slow-loris stalls.
+#                  Every chunk must end acknowledged exactly once.
+#   byte-identity— the same traffic (dumped chunk-for-chunk by the
+#                  load generator) is replayed through the in-process
+#                  --chunks ingest path; every tenant's deployed
+#                  bundle must be byte-identical to the wire run's.
+#   kill-9/WAL   — a second server is kill -9ed mid-load; a restart
+#                  on the same port resumes deployed tenants from
+#                  their journals while the still-running clients
+#                  reconnect and retransmit to completion.
+set -e
+
+BIN_DIR="$1"
+AGENTS="${WHISPER_SERVER_DEMO_AGENTS:-128}"
+CHUNKS_PER_AGENT="${WHISPER_SERVER_DEMO_CHUNKS:-4}"
+KILL_AGENTS="${WHISPER_SERVER_DEMO_KILL_AGENTS:-12}"
+KILL_CHUNKS="${WHISPER_SERVER_DEMO_KILL_CHUNKS:-60}"
+CHUNK_RECORDS=1500
+FAULTS="wire-corrupt=7,wire-tear=11,wire-kill=13,wire-stall=17:10"
+
+WORK_DIR="${TMPDIR:-/tmp}/whisperd_server_$$"
+mkdir -p "$WORK_DIR/dump" "$WORK_DIR/wire_journal" \
+    "$WORK_DIR/wire_out" "$WORK_DIR/local_journal" \
+    "$WORK_DIR/local_out" "$WORK_DIR/kill_journal" \
+    "$WORK_DIR/kill_out"
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2> /dev/null
+    rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+wait_port_file() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || {
+            echo "FAIL: server never wrote $1"; exit 1; }
+        sleep 0.1
+    done
+}
+
+# ---- leg 1+2: chaos load, then byte-identity replay ----------------
+
+"$BIN_DIR/whisperd" --listen 127.0.0.1:0 \
+    --port-file "$WORK_DIR/port.txt" \
+    --tenants auto \
+    --journal-dir "$WORK_DIR/wire_journal" \
+    --out-dir "$WORK_DIR/wire_out" \
+    --chunk-records $CHUNK_RECORDS --epoch-chunks 2 \
+    --quota-chunks 16 --quota-jobs 65536 --max-hard 64 \
+    > "$WORK_DIR/wire_server.txt" 2>&1 &
+SRV_PID=$!
+wait_port_file "$WORK_DIR/port.txt"
+PORT=$(cat "$WORK_DIR/port.txt")
+
+"$BIN_DIR/whisper_loadgen" --port "$PORT" \
+    --agents "$AGENTS" --chunks-per-agent "$CHUNKS_PER_AGENT" \
+    --chunk-records $CHUNK_RECORDS \
+    --dump-dir "$WORK_DIR/dump" \
+    --fault-spec "$FAULTS" \
+    --timeout-ms 5000 --max-attempts 400 \
+    --pull-every 2 \
+    --json "$WORK_DIR/bench_chaos.json" \
+    > "$WORK_DIR/chaos.txt" 2>&1 || {
+    cat "$WORK_DIR/chaos.txt"
+    echo "FAIL: loadgen lost chunks under the fault spec"; exit 1; }
+cat "$WORK_DIR/chaos.txt"
+grep -q "all chunks acknowledged" "$WORK_DIR/chaos.txt"
+
+# The chaos was real: every fault class actually fired.
+for fault in injected_corrupt injected_torn injected_kills \
+    injected_stalls; do
+    N=$(sed -n "s/.*\"$fault\": \([0-9]*\).*/\1/p" \
+        "$WORK_DIR/bench_chaos.json")
+    [ "${N:-0}" -ge 1 ] || {
+        echo "FAIL: fault $fault never fired"; exit 1; }
+done
+
+# Graceful drain: SIGTERM must flush every queued chunk through
+# training and write the per-tenant report before exit.
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || {
+    echo "FAIL: server did not exit cleanly on SIGTERM"; exit 1; }
+SRV_PID=""
+cat "$WORK_DIR/wire_server.txt"
+grep -q "whisperd per-tenant metrics" "$WORK_DIR/wire_server.txt"
+DROPPED=$(sed -n \
+    's/.*dropped-chunks=\([0-9]*\).*/\1/p' \
+    "$WORK_DIR/wire_server.txt" | awk '{s += $1} END {print s}')
+[ "${DROPPED:-0}" -eq 0 ] || {
+    echo "FAIL: wire server dropped $DROPPED chunks"; exit 1; }
+
+# Byte-identity: replay the dumped chunks through the in-process
+# ingest path (same chunk size => same per-tenant chunk sequence).
+"$BIN_DIR/whisperd" --chunks "$WORK_DIR/dump" \
+    --tenants auto \
+    --journal-dir "$WORK_DIR/local_journal" \
+    --out-dir "$WORK_DIR/local_out" \
+    --chunk-records $CHUNK_RECORDS --epoch-chunks 2 \
+    --quota-chunks 1000000 --quota-jobs 65536 --max-hard 64 \
+    > "$WORK_DIR/local.txt" 2>&1
+
+WIRE_BUNDLES=$(ls "$WORK_DIR/wire_out" | grep -c '\.vhints$' ||
+    true)
+LOCAL_BUNDLES=$(ls "$WORK_DIR/local_out" | grep -c '\.vhints$' ||
+    true)
+[ "$WIRE_BUNDLES" -ge 1 ] || {
+    echo "FAIL: wire run deployed no bundles"; exit 1; }
+[ "$WIRE_BUNDLES" -eq "$LOCAL_BUNDLES" ] || {
+    echo "FAIL: wire run deployed $WIRE_BUNDLES bundles," \
+        "in-process run deployed $LOCAL_BUNDLES"; exit 1; }
+for vhints in "$WORK_DIR"/wire_out/*.vhints; do
+    app=$(basename "$vhints")
+    cmp "$vhints" "$WORK_DIR/local_out/$app" || {
+        echo "FAIL: $app differs between wire and in-process"
+        exit 1; }
+done
+
+# ---- leg 3: kill -9 mid-load, restart, WAL resume ------------------
+
+PORT=$((21000 + $$ % 20000))
+"$BIN_DIR/whisperd" --listen 127.0.0.1:$PORT \
+    --tenants auto \
+    --journal-dir "$WORK_DIR/kill_journal" \
+    --out-dir "$WORK_DIR/kill_out" \
+    --chunk-records 1000 --epoch-chunks 2 \
+    --quota-chunks 64 --quota-jobs 65536 --max-hard 64 \
+    > "$WORK_DIR/kill_s1.txt" 2>&1 &
+SRV_PID=$!
+sleep 0.3
+kill -0 "$SRV_PID" || {
+    echo "FAIL: kill-leg server did not start (port $PORT taken?)"
+    exit 1; }
+
+"$BIN_DIR/whisper_loadgen" --port $PORT \
+    --agents "$KILL_AGENTS" --chunks-per-agent "$KILL_CHUNKS" \
+    --chunk-records 1000 \
+    --timeout-ms 2000 --max-attempts 400 \
+    --json "$WORK_DIR/bench_kill.json" \
+    > "$WORK_DIR/kill_lg.txt" 2>&1 &
+LG_PID=$!
+
+# Kill once at least one tenant has journaled a deployment, so the
+# restart has something to resume — adapts to TSan-speed machines.
+i=0
+while ! ls "$WORK_DIR/kill_journal" | grep -q journal; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || {
+        echo "FAIL: no deployment journaled before load ended"
+        exit 1; }
+    kill -0 "$LG_PID" 2> /dev/null || break
+    sleep 0.1
+done
+sleep 0.3
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2> /dev/null || true
+sleep 0.5
+
+"$BIN_DIR/whisperd" --listen 127.0.0.1:$PORT \
+    --tenants auto \
+    --journal-dir "$WORK_DIR/kill_journal" \
+    --out-dir "$WORK_DIR/kill_out" \
+    --chunk-records 1000 --epoch-chunks 2 \
+    --quota-chunks 64 --quota-jobs 65536 --max-hard 64 \
+    > "$WORK_DIR/kill_s2.txt" 2>&1 &
+SRV_PID=$!
+
+wait "$LG_PID" || {
+    cat "$WORK_DIR/kill_lg.txt"
+    echo "FAIL: clients lost chunks across the kill -9"; exit 1; }
+cat "$WORK_DIR/kill_lg.txt"
+grep -q "all chunks acknowledged" "$WORK_DIR/kill_lg.txt"
+
+# The outage was real: every agent had to reconnect at least once
+# beyond its initial connection.
+RECONNECTS=$(sed -n 's/.*"reconnects": \([0-9]*\).*/\1/p' \
+    "$WORK_DIR/bench_kill.json")
+[ "${RECONNECTS:-0}" -gt "$KILL_AGENTS" ] || {
+    echo "FAIL: reconnects=$RECONNECTS — the kill never" \
+        "interrupted the load"; exit 1; }
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || {
+    echo "FAIL: restarted server did not drain cleanly"; exit 1; }
+SRV_PID=""
+cat "$WORK_DIR/kill_s2.txt"
+RESUMED=$(sed -n \
+    's/^journal resumed epoch  *\([0-9]*\)$/\1/p' \
+    "$WORK_DIR/kill_s2.txt")
+[ "${RESUMED:-0}" -ge 1 ] || {
+    echo "FAIL: restarted server resumed nothing from the WAL"
+    exit 1; }
+
+echo "whisperd server demo OK (chaos agents=$AGENTS," \
+    "bundles=$WIRE_BUNDLES byte-identical," \
+    "kill-9 resumed-epoch=$RESUMED reconnects=$RECONNECTS)"

@@ -31,6 +31,7 @@
 #include "core/static_profile.hh"
 #include "core/whisper_io.hh"
 #include "trace/branch_trace.hh"
+#include "util/stdio_guard.hh"
 #include "trace/cbp_reader.hh"
 #include "sim/experiment.hh"
 #include "sim/sharded_runner.hh"
@@ -87,6 +88,7 @@ splitList(const std::string &s)
 int
 main(int argc, char **argv)
 {
+    guardStdio();
     std::string tracePath, hintsPath, profilePath;
     unsigned tageKb = 64;
     double warmup = 0.5;

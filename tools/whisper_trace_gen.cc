@@ -16,6 +16,7 @@
 #include <string>
 
 #include "trace/branch_trace.hh"
+#include "util/stdio_guard.hh"
 #include "workloads/app_workload.hh"
 
 using namespace whisper;
@@ -49,6 +50,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    guardStdio();
     std::string appName, outPath, driftArg;
     uint32_t input = 0;
     uint64_t records = 2'000'000;

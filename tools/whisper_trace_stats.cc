@@ -20,6 +20,7 @@
 
 #include "trace/branch_trace.hh"
 #include "trace/cbp_reader.hh"
+#include "util/stdio_guard.hh"
 #include "util/table.hh"
 #include "workloads/app_workload.hh"
 
@@ -50,6 +51,7 @@ loadAnyTrace(const std::string &path, BranchTrace *out)
 int
 main(int argc, char **argv)
 {
+    guardStdio(); // `| head` must end the report, not the process
     if (argc >= 2 && (std::string(argv[1]) == "--convert-cbp" ||
                       std::string(argv[1]) == "--export-cbp")) {
         bool toWhrt = std::string(argv[1]) == "--convert-cbp";
@@ -162,5 +164,7 @@ main(int argc, char **argv)
                         100.0 * n / trace.conditionals())});
     }
     top.print();
+    // A truncated pipe (`| head`) is a normal way to consume this
+    // report, not a failure of the tool.
     return 0;
 }

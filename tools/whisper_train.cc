@@ -17,6 +17,7 @@
 
 #include "core/whisper_io.hh"
 #include "trace/branch_trace.hh"
+#include "util/stdio_guard.hh"
 #include "sim/experiment.hh"
 #include "util/table.hh"
 
@@ -48,6 +49,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    guardStdio();
     std::string tracePath, outPath, profileOut;
     unsigned tageKb = 64;
     double fraction = -1.0;

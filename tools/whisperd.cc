@@ -21,16 +21,28 @@
  * a crash-safe write-ahead journal; a restarted daemon replays it
  * and resumes from the last durable epoch. --fault-spec installs the
  * deterministic fault-injection harness (see fault_injection.hh).
+ *
+ * With --listen [ADDR:]PORT whisperd becomes an actual server:
+ * chunks arrive over the CRC-framed wire protocol (see src/net/)
+ * instead of from --chunks, and clients pull deployed bundles with
+ * epoch-based caching. SIGINT/SIGTERM triggers a graceful drain:
+ * stop the listener, drain every tenant queue and in-flight
+ * training job, flush the journals, then write --out-dir bundles.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/whisper_io.hh"
+#include "net/wire_server.hh"
 #include "service/fault_injection.hh"
 #include "service/tenant_router.hh"
 #include "service/whisperd.hh"
@@ -85,11 +97,29 @@ usage()
         "requeue (default 30000)\n"
         "  --max-attempts N     training attempts before a branch "
         "is degraded (default 3)\n"
+        "  --listen [ADDR:]PORT serve the wire protocol instead of "
+        "streaming --chunks\n"
+        "                       (PORT 0 = ephemeral; requires "
+        "--tenants)\n"
+        "  --port-file FILE     write the bound port after listen\n"
+        "  --retry-after-ms N   backpressure hint sent to clients "
+        "(default 25)\n"
+        "  --idle-timeout-ms N  reap connections stalled mid-frame "
+        "(default 10000)\n"
         "  --eval-trace FILE    evaluate the deployed bundle on a "
         "trace\n"
         "  --compare-hints FILE also evaluate a static bundle on it\n"
         "  --quiet              no per-epoch log\n");
     std::exit(2);
+}
+
+/** Set by the SIGINT/SIGTERM handler; the server loop watches it. */
+std::atomic<bool> gShutdownRequested{false};
+
+extern "C" void
+handleShutdownSignal(int)
+{
+    gShutdownRequested.store(true);
 }
 
 double
@@ -137,21 +167,25 @@ parsePerApp(const std::string &value, uint64_t *global,
     return true;
 }
 
-int
-runMultiTenant(const WhisperdConfig &cfg, const std::string &chunkDir,
-               const std::string &tenantsArg,
-               const std::string &journalDir,
-               const std::string &outDir, unsigned dispatchers,
-               const TenantQuota &defaultQuota,
-               const std::map<std::string, uint64_t> &quotaChunks,
-               const std::map<std::string, uint64_t> &quotaJobs,
-               const std::map<std::string, uint64_t> &weights)
+/** Everything the multi-tenant modes (streaming and server) share. */
+struct TenantArgs
+{
+    std::string tenantsArg;
+    std::string journalDir;
+    std::string outDir;
+    unsigned dispatchers = 1;
+    TenantQuota defaultQuota;
+    std::map<std::string, uint64_t> quotaChunks, quotaJobs, weights;
+};
+
+TenantRouterConfig
+buildRouterConfig(const WhisperdConfig &cfg, const TenantArgs &args)
 {
     TenantRouterConfig tcfg;
     tcfg.chunkRecords = cfg.chunkRecords;
     tcfg.epochChunks = cfg.epochChunks;
     tcfg.trainWorkers = cfg.trainWorkers;
-    tcfg.trainDispatchers = dispatchers;
+    tcfg.trainDispatchers = args.dispatchers;
     tcfg.queueCapacity = cfg.queueCapacity;
     tcfg.tageBudgetKB = cfg.tageBudgetKB;
     tcfg.acceptMargin = cfg.acceptMargin;
@@ -159,53 +193,51 @@ runMultiTenant(const WhisperdConfig &cfg, const std::string &chunkDir,
     tcfg.whisper = cfg.whisper;
     tcfg.injector = cfg.injector;
     tcfg.verbose = cfg.verbose;
-    tcfg.journalDir = journalDir;
+    tcfg.journalDir = args.journalDir;
     tcfg.trainTaskDeadlineMs = cfg.trainTaskDeadlineMs;
     tcfg.trainMaxAttempts = cfg.trainMaxAttempts;
-    tcfg.defaultQuota = defaultQuota;
-    tcfg.autoRegister = tenantsArg == "auto";
+    tcfg.defaultQuota = args.defaultQuota;
+    tcfg.autoRegister = args.tenantsArg == "auto";
+    return tcfg;
+}
 
+/** Register the --tenants list (no-op under auto-register).
+ * @return false when the list named no apps. */
+bool
+registerTenants(TenantRouter &router, const TenantArgs &args)
+{
+    if (args.tenantsArg == "auto")
+        return true;
     auto quotaFor = [&](const std::string &app) {
-        TenantQuota q = defaultQuota;
-        if (auto it = quotaChunks.find(app); it != quotaChunks.end())
+        TenantQuota q = args.defaultQuota;
+        if (auto it = args.quotaChunks.find(app);
+            it != args.quotaChunks.end())
             q.maxQueuedChunks = static_cast<size_t>(it->second);
-        if (auto it = quotaJobs.find(app); it != quotaJobs.end())
+        if (auto it = args.quotaJobs.find(app);
+            it != args.quotaJobs.end())
             q.maxPendingTrainJobs = static_cast<size_t>(it->second);
-        if (auto it = weights.find(app); it != weights.end())
+        if (auto it = args.weights.find(app);
+            it != args.weights.end())
             q.weight = static_cast<unsigned>(it->second);
         return q;
     };
-
-    TenantRouter router(tcfg, globalTruthTables());
-    if (!tcfg.autoRegister) {
-        std::string rest = tenantsArg;
-        while (!rest.empty()) {
-            size_t comma = rest.find(',');
-            std::string app = rest.substr(0, comma);
-            rest = comma == std::string::npos
-                       ? std::string()
-                       : rest.substr(comma + 1);
-            if (app.empty())
-                continue;
-            router.addTenant(app, quotaFor(app));
-        }
-        if (router.registry().size() == 0) {
-            std::fprintf(stderr, "error: --tenants named no apps\n");
-            return 2;
-        }
+    std::string rest = args.tenantsArg;
+    while (!rest.empty()) {
+        size_t comma = rest.find(',');
+        std::string app = rest.substr(0, comma);
+        rest = comma == std::string::npos ? std::string()
+                                          : rest.substr(comma + 1);
+        if (app.empty())
+            continue;
+        router.addTenant(app, quotaFor(app));
     }
+    return router.registry().size() > 0;
+}
 
-    std::printf("whisperd: multi-tenant streaming %s (%zu tenants%s, "
-                "chunk=%zu records, epoch=%u chunks, %u train "
-                "workers, %u dispatchers)\n",
-                chunkDir.c_str(), router.registry().size(),
-                tcfg.autoRegister ? " + auto-register" : "",
-                tcfg.chunkRecords, tcfg.epochChunks,
-                tcfg.trainWorkers,
-                std::max(1u, tcfg.trainDispatchers));
-
-    router.run(chunkDir);
-
+/** Per-tenant summary lines + deployed-bundle save (--out-dir). */
+int
+reportTenants(TenantRouter &router, const std::string &outDir)
+{
     ServiceMetrics metrics = router.metrics();
     for (const auto &[app, tm] : metrics.tenants) {
         std::printf(
@@ -253,14 +285,153 @@ runMultiTenant(const WhisperdConfig &cfg, const std::string &chunkDir,
 }
 
 int
+runMultiTenant(const WhisperdConfig &cfg, const std::string &chunkDir,
+               const TenantArgs &args)
+{
+    TenantRouterConfig tcfg = buildRouterConfig(cfg, args);
+    TenantRouter router(tcfg, globalTruthTables());
+    if (!registerTenants(router, args)) {
+        std::fprintf(stderr, "error: --tenants named no apps\n");
+        return 2;
+    }
+
+    std::printf("whisperd: multi-tenant streaming %s (%zu tenants%s, "
+                "chunk=%zu records, epoch=%u chunks, %u train "
+                "workers, %u dispatchers)\n",
+                chunkDir.c_str(), router.registry().size(),
+                tcfg.autoRegister ? " + auto-register" : "",
+                tcfg.chunkRecords, tcfg.epochChunks,
+                tcfg.trainWorkers,
+                std::max(1u, tcfg.trainDispatchers));
+
+    router.run(chunkDir);
+    return reportTenants(router, args.outDir);
+}
+
+int
+runServer(const WhisperdConfig &cfg, const TenantArgs &args,
+          const std::string &listenArg, const std::string &portFile,
+          uint32_t retryAfterMs, uint32_t idleTimeoutMs)
+{
+    TenantRouterConfig tcfg = buildRouterConfig(cfg, args);
+    TenantRouter router(tcfg, globalTruthTables());
+    if (!registerTenants(router, args)) {
+        std::fprintf(stderr, "error: --tenants named no apps\n");
+        return 2;
+    }
+    router.start();
+
+    WireServerConfig scfg;
+    size_t colon = listenArg.rfind(':');
+    std::string portStr = listenArg;
+    if (colon != std::string::npos) {
+        scfg.bindAddress = listenArg.substr(0, colon);
+        portStr = listenArg.substr(colon + 1);
+    }
+    scfg.port =
+        static_cast<uint16_t>(std::strtoul(portStr.c_str(), nullptr,
+                                           10));
+    scfg.retryAfterMs = retryAfterMs;
+    scfg.idleTimeoutMs = idleTimeoutMs;
+    scfg.verbose = cfg.verbose;
+
+    WireServer server(
+        scfg,
+        [&router](TraceChunk chunk) {
+            switch (router.tryOffer(std::move(chunk))) {
+            case TenantRouter::OfferOutcome::Accepted:
+                return ChunkSinkResult::Accepted;
+            case TenantRouter::OfferOutcome::UnknownApp:
+                return ChunkSinkResult::UnknownApp;
+            case TenantRouter::OfferOutcome::Backpressure:
+            default:
+                return ChunkSinkResult::Backpressure;
+            }
+        },
+        [&router](const std::string &app)
+            -> std::optional<HintStore::Snapshot> {
+            Tenant *tenant = router.registry().find(app);
+            if (!tenant)
+                return std::nullopt;
+            return tenant->store.current();
+        });
+
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "error: cannot listen on %s: %s\n",
+                     listenArg.c_str(), error.c_str());
+        router.finish();
+        return 1;
+    }
+    std::printf("whisperd: listening on %s:%u (%zu tenants%s, "
+                "%u dispatchers)\n",
+                scfg.bindAddress.c_str(), server.boundPort(),
+                router.registry().size(),
+                tcfg.autoRegister ? " + auto-register" : "",
+                std::max(1u, tcfg.trainDispatchers));
+    std::fflush(stdout);
+    if (!portFile.empty()) {
+        // Written only after a successful bind, so a waiting script
+        // can poll for this file and then connect immediately.
+        FILE *f = std::fopen(portFile.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         portFile.c_str());
+            server.stop();
+            router.finish();
+            return 1;
+        }
+        std::fprintf(f, "%u\n", server.boundPort());
+        std::fclose(f);
+    }
+
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+    while (!gShutdownRequested.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+    // Graceful drain: stop accepting bytes first, then let every
+    // queued chunk and in-flight training job complete (journal
+    // appends happen on the deployment path, so joining the
+    // dispatchers flushes them too).
+    std::printf("whisperd: shutdown signal, draining\n");
+    server.stop();
+    router.finish();
+
+    WireServerStats ws = server.stats();
+    std::printf(
+        "whisperd-server: conns=%llu/%llu frames=%llu chunks=%llu "
+        "dup=%llu retry-after=%llu bad-crc=%llu torn-streams=%llu "
+        "slow-loris=%llu bundles=%llu unchanged=%llu "
+        "listener-restarts=%llu\n",
+        static_cast<unsigned long long>(ws.connectionsAccepted),
+        static_cast<unsigned long long>(ws.connectionsClosed),
+        static_cast<unsigned long long>(ws.framesReceived),
+        static_cast<unsigned long long>(ws.chunksAccepted),
+        static_cast<unsigned long long>(ws.duplicateChunks),
+        static_cast<unsigned long long>(ws.retryAfterSent),
+        static_cast<unsigned long long>(ws.badCrcFrames),
+        static_cast<unsigned long long>(ws.badStreamCloses),
+        static_cast<unsigned long long>(ws.slowLorisCloses),
+        static_cast<unsigned long long>(ws.bundlesSent),
+        static_cast<unsigned long long>(ws.bundlesUnchanged),
+        static_cast<unsigned long long>(ws.listenerRestarts));
+    return reportTenants(router, args.outDir);
+}
+
+int
 main(int argc, char **argv)
 {
+    // Wire sends use MSG_NOSIGNAL, but library code (journals,
+    // stdout) can still hit a closed pipe; EPIPE as an error return
+    // beats sudden death.
+    std::signal(SIGPIPE, SIG_IGN);
+
     std::string chunkDir, outPath, evalPath, comparePath;
     std::string faultSpec;
-    std::string tenantsArg, journalDir, outDir;
-    unsigned dispatchers = 1;
-    TenantQuota defaultQuota;
-    std::map<std::string, uint64_t> quotaChunks, quotaJobs, weights;
+    std::string listenArg, portFile;
+    uint32_t retryAfterMs = 25, idleTimeoutMs = 10'000;
+    TenantArgs tenants;
     WhisperdConfig cfg;
     double fraction = -1.0;
 
@@ -297,31 +468,40 @@ main(int argc, char **argv)
         else if (arg == "--journal")
             cfg.journalPath = next();
         else if (arg == "--tenants")
-            tenantsArg = next();
+            tenants.tenantsArg = next();
         else if (arg == "--journal-dir")
-            journalDir = next();
+            tenants.journalDir = next();
         else if (arg == "--out-dir")
-            outDir = next();
+            tenants.outDir = next();
         else if (arg == "--dispatchers")
-            dispatchers = static_cast<unsigned>(std::atoi(next()));
+            tenants.dispatchers =
+                static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--quota-chunks") {
-            uint64_t v = defaultQuota.maxQueuedChunks;
-            if (!parsePerApp(next(), &v, quotaChunks))
+            uint64_t v = tenants.defaultQuota.maxQueuedChunks;
+            if (!parsePerApp(next(), &v, tenants.quotaChunks))
                 usage();
-            defaultQuota.maxQueuedChunks = static_cast<size_t>(v);
+            tenants.defaultQuota.maxQueuedChunks =
+                static_cast<size_t>(v);
         } else if (arg == "--quota-jobs") {
-            uint64_t v = defaultQuota.maxPendingTrainJobs;
-            if (!parsePerApp(next(), &v, quotaJobs))
+            uint64_t v = tenants.defaultQuota.maxPendingTrainJobs;
+            if (!parsePerApp(next(), &v, tenants.quotaJobs))
                 usage();
-            defaultQuota.maxPendingTrainJobs =
+            tenants.defaultQuota.maxPendingTrainJobs =
                 static_cast<size_t>(v);
         } else if (arg == "--tenant-weight") {
             uint64_t unused = 0;
             std::string value = next();
             if (value.find('=') == std::string::npos ||
-                !parsePerApp(value, &unused, weights))
+                !parsePerApp(value, &unused, tenants.weights))
                 usage();
-        }
+        } else if (arg == "--listen")
+            listenArg = next();
+        else if (arg == "--port-file")
+            portFile = next();
+        else if (arg == "--retry-after-ms")
+            retryAfterMs = static_cast<uint32_t>(std::atoi(next()));
+        else if (arg == "--idle-timeout-ms")
+            idleTimeoutMs = static_cast<uint32_t>(std::atoi(next()));
         else if (arg == "--fault-spec")
             faultSpec = next();
         else if (arg == "--deadline-ms")
@@ -339,9 +519,15 @@ main(int argc, char **argv)
         else
             usage();
     }
-    bool multiTenant = !tenantsArg.empty();
-    if (chunkDir.empty() || cfg.chunkRecords == 0 ||
-        (outPath.empty() && !multiTenant))
+    bool multiTenant = !tenants.tenantsArg.empty();
+    bool serverMode = !listenArg.empty();
+    if (serverMode && !multiTenant) {
+        std::fprintf(stderr, "error: --listen requires --tenants\n");
+        return 2;
+    }
+    if (cfg.chunkRecords == 0 ||
+        (!serverMode &&
+         (chunkDir.empty() || (outPath.empty() && !multiTenant))))
         usage();
     if (fraction > 0)
         cfg.whisper.formulaFraction = fraction;
@@ -355,6 +541,9 @@ main(int argc, char **argv)
         std::printf("whisperd: fault injection armed: %s\n",
                     faultSpec.c_str());
     }
+    if (serverMode)
+        return runServer(cfg, tenants, listenArg, portFile,
+                         retryAfterMs, idleTimeoutMs);
     if (ChunkIngestor::listTraceFiles(chunkDir).empty()) {
         std::fprintf(stderr, "error: no .whrt files in %s\n",
                      chunkDir.c_str());
@@ -362,9 +551,7 @@ main(int argc, char **argv)
     }
 
     if (multiTenant)
-        return runMultiTenant(cfg, chunkDir, tenantsArg, journalDir,
-                              outDir, dispatchers, defaultQuota,
-                              quotaChunks, quotaJobs, weights);
+        return runMultiTenant(cfg, chunkDir, tenants);
 
     std::printf("whisperd: streaming %s (chunk=%zu records, "
                 "epoch=%u chunks, %u train workers, %u shards)\n",
