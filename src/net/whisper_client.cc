@@ -2,7 +2,9 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <random>
 #include <thread>
 
 #include <arpa/inet.h>
@@ -38,11 +40,32 @@ nextRand(uint64_t &state)
     return x ^ (x >> 31);
 }
 
+/** A nonce that differs across process incarnations: the server
+ * remembers next-expected sequences per stream, so a restarted agent
+ * replaying seq 0 under its predecessor's stream identity would draw
+ * silent duplicate-acks for every chunk. */
+uint64_t
+incarnationNonce()
+{
+    std::random_device rd;
+    uint64_t state = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    state ^= static_cast<uint64_t>(::getpid()) << 48;
+    state ^= steadyMs();
+    uint64_t nonce = nextRand(state);
+    return nonce ? nonce : 1;
+}
+
 } // namespace
 
 WhisperClient::WhisperClient(WhisperClientConfig cfg)
     : cfg_(std::move(cfg)), jitterState_(cfg_.jitterSeed * 2 + 1)
 {
+    uint64_t nonce = cfg_.incarnation ? cfg_.incarnation
+                                      : incarnationNonce();
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(nonce));
+    wireStream_ = cfg_.stream + "#" + hex;
 }
 
 WhisperClient::~WhisperClient() { disconnect(); }
@@ -260,7 +283,7 @@ WhisperClient::ingestChunk(const std::string &app, uint32_t inputId,
     AppState &state = apps_[app];
     IngestChunkMsg msg;
     msg.app = app;
-    msg.stream = cfg_.stream;
+    msg.stream = wireStream_;
     msg.inputId = inputId;
     msg.seq = state.nextSeq;
     msg.records = records;

@@ -15,6 +15,14 @@
  *    reconnect if needed, retransmit the same (app, stream, seq).
  *    Because ingest is idempotent per (app, stream, seq), blind
  *    retransmission is always safe.
+ *  - The on-wire stream identity is the configured stream name plus
+ *    a per-incarnation nonce. A restarted agent that reuses its
+ *    stream name therefore starts a fresh sequence space instead of
+ *    colliding with the server's memory of the previous incarnation
+ *    (whose seqs it would replay from 0, drawing duplicate-acks that
+ *    silently drop every chunk). Pin cfg.incarnation to share a
+ *    sequence space across client objects, e.g. in tests modeling a
+ *    reconnect of the *same* incarnation.
  *  - Retries use capped exponential backoff with deterministic
  *    jitter (seeded per stream) so hundreds of agents hammered by
  *    the same listener restart do not reconnect in lockstep.
@@ -48,6 +56,11 @@ struct WhisperClientConfig
     std::string host = "127.0.0.1";
     uint16_t port = 0;
     std::string stream = "client"; //!< sequence-number namespace
+    /** Incarnation nonce folded into the wire stream identity; 0
+     * (the default) derives a fresh one per client object so a
+     * restarted agent never collides with its predecessor's
+     * sequence space. */
+    uint64_t incarnation = 0;
     /** Per-operation receive deadline. */
     uint32_t recvTimeoutMs = 2'000;
     /** Retry schedule: backoff doubles from initial to cap, with
@@ -107,6 +120,10 @@ class WhisperClient
     /** Sequence number the next ingestChunk() for @p app will use. */
     uint64_t nextSeq(const std::string &app) const;
 
+    /** The stream identity sent on the wire: cfg.stream plus the
+     * incarnation nonce. */
+    const std::string &wireStream() const { return wireStream_; }
+
     const WhisperClientStats &stats() const { return stats_; }
     const std::string &lastError() const { return lastError_; }
 
@@ -132,6 +149,7 @@ class WhisperClient
     void backoff(unsigned attempt, uint32_t serverWaitMs);
 
     WhisperClientConfig cfg_;
+    std::string wireStream_; //!< cfg.stream + "#" + incarnation
     int fd_ = -1;
     FrameParser parser_;
     WhisperClientStats stats_;

@@ -1,8 +1,10 @@
 #include "net/wire_server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -46,11 +48,37 @@ struct WireServer::Connection
     FrameParser parser;
     std::vector<unsigned char> out; //!< unsent outbound bytes
     size_t outPos = 0;              //!< sent prefix of `out`
-    bool wantWrite = false;         //!< EPOLLOUT currently armed
-    bool doomed = false;            //!< close once `out` drains
-    uint64_t lastActivityMs = 0;    //!< last byte received
+    /** Unsent byte counts of the queued frames, oldest first. The
+     * front entry is the frame currently being delivered; the send
+     * cap applies only to the bytes queued behind it. */
+    std::deque<size_t> outFrames;
+    bool wantWrite = false;      //!< EPOLLOUT currently armed
+    bool doomed = false;         //!< close once `out` drains
+    uint64_t lastActivityMs = 0; //!< last byte received or sent
 
     size_t pendingOut() const { return out.size() - outPos; }
+
+    /** Bytes queued behind the frame currently being delivered —
+     * what the slow-reader cap is measured against. */
+    size_t
+    backlogBehindCurrentFrame() const
+    {
+        return outFrames.empty() ? 0
+                                 : pendingOut() - outFrames.front();
+    }
+
+    /** Account @p n freshly sent bytes against the frame queue. */
+    void
+    drainFrames(size_t n)
+    {
+        while (n > 0 && !outFrames.empty()) {
+            size_t step = std::min(outFrames.front(), n);
+            outFrames.front() -= step;
+            n -= step;
+            if (outFrames.front() == 0)
+                outFrames.pop_front();
+        }
+    }
 };
 
 WireServer::WireServer(const WireServerConfig &cfg, ChunkSink sink,
@@ -197,6 +225,16 @@ WireServer::stop()
     }
     if (thread_.joinable())
         thread_.join();
+    // The wakeup/epoll fds are closed here, after the join — never
+    // on the loop thread — so this write can't race their close.
+    if (wakeupFd_ >= 0) {
+        ::close(wakeupFd_);
+        wakeupFd_ = -1;
+    }
+    if (epollFd_ >= 0) {
+        ::close(epollFd_);
+        epollFd_ = -1;
+    }
     running_.store(false);
 }
 
@@ -245,18 +283,13 @@ WireServer::eventLoop()
         sweepStalledConnections();
     }
 
-    // Teardown on the loop thread so no fd is touched concurrently.
+    // Teardown of the sockets happens on the loop thread so no
+    // connection fd is touched concurrently; the wakeup/epoll fds
+    // are left for stop() to close after the join, because stop()
+    // may still be writing the wakeup eventfd while we exit.
     closeListener();
     while (!connections_.empty())
         closeConnection(connections_.begin()->first);
-    if (wakeupFd_ >= 0) {
-        ::close(wakeupFd_);
-        wakeupFd_ = -1;
-    }
-    if (epollFd_ >= 0) {
-        ::close(epollFd_);
-        epollFd_ = -1;
-    }
     running_.store(false);
 }
 
@@ -293,9 +326,15 @@ WireServer::acceptReady()
 void
 WireServer::readReady(Connection &conn)
 {
+    // Anything below that sends a reply can close — and thereby
+    // destroy — `conn` (send error, slow-reader cap, fault-injected
+    // listener restart). Liveness is always re-checked through this
+    // captured fd, never through the reference.
+    const int fd = conn.fd;
+
     unsigned char buf[64 * 1024];
     for (;;) {
-        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n > 0) {
             conn.lastActivityMs = steadyMs();
             conn.parser.feed(buf, static_cast<size_t>(n));
@@ -305,7 +344,7 @@ WireServer::readReady(Connection &conn)
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
-        closeConnection(conn.fd); // EOF or hard error
+        closeConnection(fd); // EOF or hard error
         return;
     }
 
@@ -316,19 +355,20 @@ WireServer::readReady(Connection &conn)
             break;
         if (r == FrameParser::Result::BadCrc) {
             stats_.badCrcFrames.fetch_add(1);
-            sendError(conn, WireError::BadCrc,
-                      "payload crc mismatch");
+            if (!sendError(conn, WireError::BadCrc,
+                           "payload crc mismatch"))
+                return; // the reply closed the connection
             continue; // framing is intact; keep the connection
         }
         if (r != FrameParser::Result::Frame) {
             // BadMagic / TooLarge: the byte stream is broken.
             stats_.badStreamCloses.fetch_add(1);
-            closeConnection(conn.fd);
+            closeConnection(fd);
             return;
         }
         stats_.framesReceived.fetch_add(1);
         handleFrame(conn, frame);
-        if (connections_.find(conn.fd) == connections_.end())
+        if (connections_.find(fd) == connections_.end())
             return; // handleFrame closed it
     }
 }
@@ -344,9 +384,9 @@ WireServer::handleFrame(Connection &conn, const WireFrame &frame)
             return;
         }
         if (hello.version != kWireProtocolVersion) {
-            sendError(conn, WireError::BadVersion,
-                      "unsupported protocol version");
-            conn.doomed = true;
+            if (sendError(conn, WireError::BadVersion,
+                          "unsupported protocol version"))
+                conn.doomed = true; // close once the error drains
             return;
         }
         HelloMsg ok;
@@ -381,14 +421,16 @@ WireServer::handleIngest(Connection &conn, const WireFrame &frame)
     std::string streamKey = msg.app;
     streamKey.push_back('\0');
     streamKey += msg.stream;
-    auto [it, inserted] = nextSeq_.try_emplace(streamKey, 0);
 
     // Idempotency: anything below the next expected sequence was
     // already ingested — a retransmission after a lost ack. Anything
     // at or above it is new (gaps can only mean this server restarted
-    // and lost dedupe state; the chunk itself was never ingested, so
-    // accepting it is the safe direction).
-    if (!inserted && msg.seq < it->second) {
+    // or rotated the stream out of its bounded table; the chunk
+    // itself was never ingested, so accepting it is the safe
+    // direction). The lookup is read-only: state is recorded only
+    // once the sink accepts, so rejected apps leave no trace.
+    const uint64_t *nextSeq = findNextSeq(streamKey);
+    if (nextSeq && msg.seq < *nextSeq) {
         stats_.duplicateChunks.fetch_add(1);
         ChunkAckMsg ack;
         ack.seq = msg.seq;
@@ -409,7 +451,7 @@ WireServer::handleIngest(Connection &conn, const WireFrame &frame)
     switch (result) {
     case ChunkSinkResult::Accepted: {
         ++arrivals_;
-        it->second = msg.seq + 1;
+        storeNextSeq(streamKey, msg.seq + 1);
         stats_.chunksAccepted.fetch_add(1);
         stats_.recordsAccepted.fetch_add(recordCount);
         ChunkAckMsg ack;
@@ -465,7 +507,42 @@ WireServer::handlePull(Connection &conn, const WireFrame &frame)
     sendFrame(conn, WireOp::Bundle, encodeVersionedBundle(bundle));
 }
 
+const uint64_t *
+WireServer::findNextSeq(const std::string &streamKey) const
+{
+    auto it = nextSeqCur_.find(streamKey);
+    if (it != nextSeqCur_.end())
+        return &it->second;
+    it = nextSeqPrev_.find(streamKey);
+    if (it != nextSeqPrev_.end())
+        return &it->second;
+    return nullptr;
+}
+
 void
+WireServer::storeNextSeq(const std::string &streamKey, uint64_t next)
+{
+    auto it = nextSeqCur_.find(streamKey);
+    if (it != nextSeqCur_.end()) {
+        it->second = next;
+        return;
+    }
+    // Two-generation rotation: each generation holds at most half
+    // the bound, so live total never exceeds maxTrackedStreams and
+    // an active stream survives at least one full rotation before
+    // it can be forgotten.
+    size_t half = std::max<size_t>(1, cfg_.maxTrackedStreams / 2);
+    if (nextSeqCur_.size() >= half) {
+        nextSeqPrev_ = std::move(nextSeqCur_);
+        nextSeqCur_.clear();
+    }
+    nextSeqCur_[streamKey] = next;
+    nextSeqPrev_.erase(streamKey); // the current generation shadows it
+    stats_.streamsTracked.store(nextSeqCur_.size() +
+                                nextSeqPrev_.size());
+}
+
+bool
 WireServer::sendError(Connection &conn, WireError code,
                       const std::string &message)
 {
@@ -473,29 +550,41 @@ WireServer::sendError(Connection &conn, WireError code,
     ErrorMsg msg;
     msg.code = code;
     msg.message = message;
-    sendFrame(conn, WireOp::Error, encodeError(msg));
+    return sendFrame(conn, WireOp::Error, encodeError(msg));
 }
 
-void
+bool
 WireServer::sendFrame(Connection &conn, WireOp op,
                       const std::vector<unsigned char> &payload)
 {
     std::vector<unsigned char> frame = encodeFrame(op, payload);
+    const int fd = conn.fd;
 
     // Fast path: nothing queued, try a direct send.
     size_t sent = 0;
     if (conn.pendingOut() == 0) {
-        ssize_t n = ::send(conn.fd, frame.data(), frame.size(),
-                           MSG_NOSIGNAL);
+        ssize_t n =
+            ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
         if (n >= 0)
             sent = static_cast<size_t>(n);
         else if (errno != EAGAIN && errno != EWOULDBLOCK) {
-            closeConnection(conn.fd);
-            return;
+            closeConnection(fd);
+            return false;
         }
     }
     if (sent == frame.size())
-        return;
+        return true;
+
+    // Slow-reader cap, measured against the bytes queued behind the
+    // frame currently being delivered: the in-flight frame itself is
+    // exempt, so one bundle larger than the cap (legal up to
+    // kMaxPayload) still drains over multiple EPOLLOUT rounds
+    // instead of tripping the close on its first send.
+    if (conn.backlogBehindCurrentFrame() > cfg_.maxSendBuffer) {
+        stats_.slowReaderCloses.fetch_add(1);
+        closeConnection(fd);
+        return false;
+    }
 
     // Compact the drained prefix before appending.
     if (conn.outPos > 0) {
@@ -506,14 +595,9 @@ WireServer::sendFrame(Connection &conn, WireOp op,
     }
     conn.out.insert(conn.out.end(), frame.begin() + sent,
                     frame.end());
-    if (conn.pendingOut() > cfg_.maxSendBuffer) {
-        // The peer stopped draining its socket; shed it rather than
-        // buffer without bound.
-        stats_.slowReaderCloses.fetch_add(1);
-        closeConnection(conn.fd);
-        return;
-    }
+    conn.outFrames.push_back(frame.size() - sent);
     updateEpollOut(conn);
+    return true;
 }
 
 void
@@ -524,6 +608,10 @@ WireServer::writeReady(Connection &conn)
                            conn.pendingOut(), MSG_NOSIGNAL);
         if (n > 0) {
             conn.outPos += static_cast<size_t>(n);
+            conn.drainFrames(static_cast<size_t>(n));
+            // Draining counts as liveness: a reader slowly working
+            // through a large bundle is progressing, not stalled.
+            conn.lastActivityMs = steadyMs();
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -534,6 +622,7 @@ WireServer::writeReady(Connection &conn)
     if (conn.pendingOut() == 0) {
         conn.out.clear();
         conn.outPos = 0;
+        conn.outFrames.clear();
         if (conn.doomed) {
             closeConnection(conn.fd);
             return;
@@ -561,17 +650,26 @@ WireServer::sweepStalledConnections()
     if (cfg_.idleTimeoutMs == 0)
         return;
     uint64_t now = steadyMs();
-    std::vector<int> stalled;
+    std::vector<int> stalledWriters;
+    std::vector<int> stalledReaders;
     for (auto &[fd, conn] : connections_) {
-        // Only connections holding a partial frame hostage are
-        // reaped — an idle but frame-aligned connection is a healthy
-        // keep-alive client between pulls.
-        if (conn->parser.buffered() > 0 &&
-            now - conn->lastActivityMs > cfg_.idleTimeoutMs)
-            stalled.push_back(fd);
+        // Only connections holding a partial frame hostage or
+        // sitting on undrained output are reaped — an idle but
+        // frame-aligned connection with nothing pending is a
+        // healthy keep-alive client between pulls.
+        if (now - conn->lastActivityMs <= cfg_.idleTimeoutMs)
+            continue;
+        if (conn->parser.buffered() > 0)
+            stalledWriters.push_back(fd);
+        else if (conn->pendingOut() > 0)
+            stalledReaders.push_back(fd);
     }
-    for (int fd : stalled) {
+    for (int fd : stalledWriters) {
         stats_.slowLorisCloses.fetch_add(1);
+        closeConnection(fd);
+    }
+    for (int fd : stalledReaders) {
+        stats_.slowReaderCloses.fetch_add(1);
         closeConnection(fd);
     }
 }
@@ -608,6 +706,7 @@ WireServer::stats() const
     out.errorsSent = stats_.errorsSent.load();
     out.unknownAppChunks = stats_.unknownAppChunks.load();
     out.listenerRestarts = stats_.listenerRestarts.load();
+    out.streamsTracked = stats_.streamsTracked.load();
     return out;
 }
 

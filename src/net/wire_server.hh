@@ -15,7 +15,13 @@
  *     per stream and answers retransmissions of already accepted
  *     chunks with a duplicate-ack instead of ingesting them twice.
  *     An acknowledged chunk is therefore never double-counted, and
- *     an unacknowledged one is always safe to retransmit.
+ *     an unacknowledged one is always safe to retransmit. The
+ *     per-stream state is recorded only when the sink accepts a
+ *     chunk (rejected apps leave no trace) and is bounded by
+ *     maxTrackedStreams via two-generation rotation: the oldest
+ *     half is dropped when the bound is hit, which at worst turns a
+ *     very stale retransmission into a re-ingest — the same safe
+ *     direction as a server restart losing the table entirely.
  *  3. Hint distribution is cheap when nothing changed. PULL_BUNDLE
  *     carries the client's cached epoch; when it matches the
  *     deployed epoch the reply is a 24-byte BUNDLE_UNCHANGED (one
@@ -24,8 +30,12 @@
  *     lengths and bad magic close the connection; CRC failures drop
  *     the frame and tell the sender; a writer that stalls mid-frame
  *     longer than the idle timeout is reaped (slow-loris guard); a
- *     reader that stops draining its socket is closed once its send
- *     buffer exceeds the cap.
+ *     reader that stops draining its socket is closed once bytes
+ *     queued *behind* the frame currently being delivered exceed
+ *     the cap (the in-flight frame itself is exempt, so a single
+ *     large bundle — up to kMaxPayload — is always deliverable), or
+ *     once it makes no read progress for the idle timeout while
+ *     output is pending.
  *
  * The deterministic fault harness reaches into the loop through
  * FaultInjector (`restart-listener`): tearing down the listener and
@@ -69,9 +79,16 @@ struct WireServerConfig
      * never completed HELLO) is reaped — the slow-loris guard. */
     uint32_t idleTimeoutMs = 10'000;
     size_t maxConnections = 1024;
-    /** Per-connection outbound buffer cap; a reader that stops
-     * draining its socket is closed past this. */
+    /** Per-connection outbound cap on bytes queued behind the frame
+     * currently being delivered; a reader that stops draining its
+     * socket is closed past this. The in-flight frame is exempt so
+     * a bundle larger than the cap stays deliverable. */
     size_t maxSendBuffer = 8u << 20;
+    /** Upper bound on retained (app, stream) idempotency entries;
+     * the oldest half rotates out past this, so a hostile client
+     * inventing stream names cannot grow server memory without
+     * bound. */
+    size_t maxTrackedStreams = 8192;
     bool verbose = false;
 };
 
@@ -94,6 +111,7 @@ struct WireServerStats
     uint64_t errorsSent = 0;
     uint64_t unknownAppChunks = 0;
     uint64_t listenerRestarts = 0;
+    uint64_t streamsTracked = 0; //!< live idempotency entries (gauge)
 };
 
 /** The TCP front end. One instance per whisperd process. */
@@ -140,10 +158,19 @@ class WireServer
     void handleFrame(Connection &conn, const WireFrame &frame);
     void handleIngest(Connection &conn, const WireFrame &frame);
     void handlePull(Connection &conn, const WireFrame &frame);
-    void sendFrame(Connection &conn, WireOp op,
+    /** @return false when the send closed (destroyed) @p conn — the
+     * caller must not touch the connection afterwards. */
+    bool sendFrame(Connection &conn, WireOp op,
                    const std::vector<unsigned char> &payload);
-    void sendError(Connection &conn, WireError code,
+    /** @return false when the send closed (destroyed) @p conn. */
+    bool sendError(Connection &conn, WireError code,
                    const std::string &message);
+    /** Next expected sequence for @p streamKey, or nullptr if the
+     * stream is untracked (either generation). */
+    const uint64_t *findNextSeq(const std::string &streamKey) const;
+    /** Record @p next for @p streamKey in the current generation,
+     * rotating the generations at the maxTrackedStreams bound. */
+    void storeNextSeq(const std::string &streamKey, uint64_t next);
     void closeConnection(int fd);
     void sweepStalledConnections();
     void updateEpollOut(Connection &conn);
@@ -163,8 +190,11 @@ class WireServer
 
     std::map<int, std::unique_ptr<Connection>> connections_;
     /** Next expected sequence per (app, stream) — the idempotency /
-     * resume state. Only the event thread touches it. */
-    std::map<std::string, uint64_t> nextSeq_;
+     * resume state, split into two generations so it stays bounded
+     * (see findNextSeq/storeNextSeq). Only the event thread touches
+     * them. */
+    std::map<std::string, uint64_t> nextSeqCur_;
+    std::map<std::string, uint64_t> nextSeqPrev_;
     uint64_t arrivals_ = 0; //!< global chunk arrival counter
 
     // Counters are atomics so stats() is callable mid-run.
@@ -186,6 +216,7 @@ class WireServer
         std::atomic<uint64_t> errorsSent{0};
         std::atomic<uint64_t> unknownAppChunks{0};
         std::atomic<uint64_t> listenerRestarts{0};
+        std::atomic<uint64_t> streamsTracked{0};
     } stats_;
 };
 

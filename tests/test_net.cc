@@ -68,7 +68,8 @@ makeBundle(uint64_t epoch, size_t hints)
         TrainedHint h;
         h.pc = 0x400000 + 16 * (epoch * 100 + i);
         h.hint.pcPointer = BrHint::pcPointerFor(h.pc);
-        h.hint.formula = static_cast<uint16_t>(i + epoch);
+        h.hint.formula =
+            static_cast<uint16_t>((i + epoch) % (1u << 14));
         h.historyLength = 64;
         v.bundle.hints.push_back(h);
     }
@@ -472,15 +473,18 @@ TEST_F(NetTest, RetransmitOfAckedChunkIsDuplicateNotDoubleIngest)
     ServerHarness h;
     auto records = someRecords(32);
 
-    // Two clients sharing one stream name: the second replays the
-    // same (app, stream, seq) the first already got acked — exactly
-    // what a reconnecting client does when the ack was lost in
-    // flight. The server must ack it (the client needs closure) but
-    // not ingest it twice.
-    WhisperClient first(clientConfig(h.port(), "shared"));
+    // Two clients sharing one stream identity (name AND pinned
+    // incarnation): the second replays the same (app, stream, seq)
+    // the first already got acked — exactly what a reconnecting
+    // client does when the ack was lost in flight. The server must
+    // ack it (the client needs closure) but not ingest it twice.
+    auto cfg = clientConfig(h.port(), "shared");
+    cfg.incarnation = 42;
+    WhisperClient first(cfg);
     ASSERT_TRUE(first.ingestChunk("kafka", 0, records));
 
-    WhisperClient second(clientConfig(h.port(), "shared"));
+    WhisperClient second(cfg);
+    EXPECT_EQ(second.wireStream(), first.wireStream());
     ASSERT_TRUE(second.ingestChunk("kafka", 0, records));
 
     EXPECT_EQ(second.stats().duplicateAcks, 1u);
@@ -488,6 +492,31 @@ TEST_F(NetTest, RetransmitOfAckedChunkIsDuplicateNotDoubleIngest)
     WireServerStats stats = h.server->stats();
     EXPECT_EQ(stats.chunksAccepted, 1u);
     EXPECT_EQ(stats.duplicateChunks, 1u);
+}
+
+TEST_F(NetTest, RestartedClientWithReusedStreamNameIsNotDropped)
+{
+    ServerHarness h;
+    auto records = someRecords(32);
+
+    // Two clients reusing the stream *name* without pinning an
+    // incarnation model an agent that restarted: the second one's
+    // seq restarts at 0, but its fresh incarnation nonce gives it a
+    // fresh sequence space, so its chunks are really ingested — not
+    // silently absorbed as duplicate-acks of the dead predecessor.
+    WhisperClient before(clientConfig(h.port(), "agent0"));
+    ASSERT_TRUE(before.ingestChunk("kafka", 0, records));
+    ASSERT_TRUE(before.ingestChunk("kafka", 1, records));
+
+    WhisperClient after(clientConfig(h.port(), "agent0"));
+    EXPECT_NE(after.wireStream(), before.wireStream());
+    ASSERT_TRUE(after.ingestChunk("kafka", 0, records));
+
+    EXPECT_EQ(after.stats().duplicateAcks, 0u);
+    EXPECT_EQ(h.sink.acceptedCount(), 3u);
+    WireServerStats stats = h.server->stats();
+    EXPECT_EQ(stats.chunksAccepted, 3u);
+    EXPECT_EQ(stats.duplicateChunks, 0u);
 }
 
 TEST_F(NetTest, BackpressureBecomesRetryAfterNotLoss)
@@ -528,6 +557,91 @@ TEST_F(NetTest, UnknownAppFailsFastAndPermanently)
     EXPECT_NE(client.lastError().find("unknown"),
               std::string::npos)
         << client.lastError();
+}
+
+TEST_F(NetTest, RejectedIngestLeavesNoStreamState)
+{
+    ServerHarness h;
+    {
+        std::lock_guard<std::mutex> lock(h.sink.mutex);
+        h.sink.script = {ChunkSinkResult::UnknownApp};
+    }
+    auto cfg = clientConfig(h.port());
+    cfg.maxAttempts = 3;
+    WhisperClient client(cfg);
+    EXPECT_FALSE(client.ingestChunk("nosuch", 0, someRecords(8)));
+
+    // The hostile-cost model: an ingest the sink rejected must not
+    // have grown the per-stream idempotency table.
+    EXPECT_EQ(h.server->stats().streamsTracked, 0u);
+
+    ASSERT_TRUE(client.ingestChunk("kafka", 0, someRecords(8)));
+    EXPECT_EQ(h.server->stats().streamsTracked, 1u);
+}
+
+TEST_F(NetTest, StreamIdempotencyStateIsBounded)
+{
+    WireServerConfig cfg;
+    cfg.maxTrackedStreams = 8;
+    ServerHarness h("kafka", cfg);
+
+    // One hostile peer inventing a fresh stream name per chunk: the
+    // chunks are all legal (the sink accepts them), but the table
+    // must rotate instead of growing one entry per invented name.
+    RawConn conn(h.port());
+    ASSERT_TRUE(conn.connected());
+    auto records = someRecords(4);
+    for (int i = 0; i < 64; ++i) {
+        IngestChunkMsg msg;
+        msg.app = "kafka";
+        msg.stream = "invented" + std::to_string(i);
+        msg.seq = 0;
+        msg.records = records;
+        ASSERT_TRUE(conn.sendBytes(encodeFrame(
+            WireOp::IngestChunk, encodeIngestChunk(msg))));
+        WireFrame ack;
+        ASSERT_TRUE(conn.recvFrame(ack)) << "chunk " << i;
+        ASSERT_EQ(ack.op, WireOp::ChunkAck);
+    }
+    WireServerStats stats = h.server->stats();
+    EXPECT_EQ(stats.chunksAccepted, 64u);
+    EXPECT_LE(stats.streamsTracked, 8u);
+    EXPECT_GE(stats.streamsTracked, 1u);
+}
+
+TEST_F(NetTest, BundleLargerThanSendBufferCapIsDeliverable)
+{
+    // A deployed bundle whose frame dwarfs maxSendBuffer must drain
+    // over multiple EPOLLOUT rounds — the in-flight frame is exempt
+    // from the slow-reader cap, so a client that (legitimately)
+    // reads slower than the server writes still gets its bundle
+    // instead of a permanent reconnect/re-pull loop.
+    WireServerConfig cfg;
+    cfg.maxSendBuffer = 64 * 1024;
+    ServerHarness h("kafka", cfg);
+    h.bundles.deploy(3, 300'000); // several MiB encoded
+
+    RawConn conn(h.port());
+    ASSERT_TRUE(conn.connected());
+    PullBundleMsg pull;
+    pull.app = "kafka";
+    pull.cachedEpoch = ~uint64_t{0};
+    ASSERT_TRUE(conn.sendBytes(
+        encodeFrame(WireOp::PullBundle, encodePullBundle(pull))));
+    // Give the server time to hit the partial-send path before we
+    // start draining, so the frame really does sit in the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    WireFrame frame;
+    ASSERT_TRUE(conn.recvFrame(frame));
+    ASSERT_EQ(frame.op, WireOp::Bundle);
+    VersionedHintBundle bundle;
+    ASSERT_TRUE(decodeVersionedBundle(bundle, frame.payload.data(),
+                                      frame.payload.size()));
+    EXPECT_EQ(bundle.epoch, 3u);
+    EXPECT_EQ(bundle.bundle.hints.size(), 300'000u);
+    EXPECT_GT(frame.payload.size(), cfg.maxSendBuffer);
+    EXPECT_EQ(h.server->stats().slowReaderCloses, 0u);
 }
 
 TEST_F(NetTest, CorruptFramesAreRetransmittedToSuccess)
