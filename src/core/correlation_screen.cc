@@ -1,0 +1,254 @@
+#include "core/correlation_screen.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace whisper
+{
+
+namespace
+{
+
+/** Taken/not-taken mass on each side of one key bit. */
+struct BitSplit
+{
+    uint64_t taken[2] = {0, 0};
+    uint64_t notTaken[2] = {0, 0};
+
+    uint64_t
+    total() const
+    {
+        return taken[0] + taken[1] + notTaken[0] + notTaken[1];
+    }
+
+    uint64_t
+    biasMispredicts() const
+    {
+        return std::min(taken[0] + taken[1],
+                        notTaken[0] + notTaken[1]);
+    }
+
+    uint64_t
+    splitMispredicts() const
+    {
+        return std::min(taken[0], notTaken[0]) +
+               std::min(taken[1], notTaken[1]);
+    }
+};
+
+BitSplit
+splitByBit(const HashedSampleTable &table, unsigned bit)
+{
+    BitSplit s;
+    for (size_t key = 0; key < table.taken.size(); ++key) {
+        unsigned side = (key >> bit) & 1;
+        s.taken[side] += table.taken[key];
+        s.notTaken[side] += table.notTaken[key];
+    }
+    return s;
+}
+
+double
+entropyTerm(double p)
+{
+    return p > 0.0 ? -p * std::log2(p) : 0.0;
+}
+
+} // namespace
+
+CorrelationScreen::CorrelationScreen(const ScreenConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+double
+CorrelationScreen::lengthGain(const HashedSampleTable &table)
+{
+    uint64_t total = table.totalSamples();
+    if (total == 0)
+        return 0.0;
+    uint64_t taken = 0;
+    for (uint32_t t : table.taken)
+        taken += t;
+    uint64_t bias = std::min(taken, total - taken);
+    uint64_t oracle = table.oracleMispredicts();
+    return static_cast<double>(bias - oracle) /
+           static_cast<double>(total);
+}
+
+double
+CorrelationScreen::bitGain(const HashedSampleTable &table, unsigned bit)
+{
+    BitSplit s = splitByBit(table, bit);
+    uint64_t total = s.total();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(s.biasMispredicts() -
+                               s.splitMispredicts()) /
+           static_cast<double>(total);
+}
+
+double
+CorrelationScreen::bitMutualInformation(const HashedSampleTable &table,
+                                        unsigned bit)
+{
+    BitSplit s = splitByBit(table, bit);
+    double total = static_cast<double>(s.total());
+    if (total == 0.0)
+        return 0.0;
+
+    // I(B; O) = H(O) + H(B) - H(B, O), all in bits.
+    double joint[2][2] = {
+        {s.notTaken[0] / total, s.taken[0] / total},
+        {s.notTaken[1] / total, s.taken[1] / total},
+    };
+    double pBit[2] = {joint[0][0] + joint[0][1],
+                      joint[1][0] + joint[1][1]};
+    double pOut[2] = {joint[0][0] + joint[1][0],
+                      joint[0][1] + joint[1][1]};
+    double mi = entropyTerm(pOut[0]) + entropyTerm(pOut[1]) +
+                entropyTerm(pBit[0]) + entropyTerm(pBit[1]) -
+                entropyTerm(joint[0][0]) - entropyTerm(joint[0][1]) -
+                entropyTerm(joint[1][0]) - entropyTerm(joint[1][1]);
+    return std::max(mi, 0.0);
+}
+
+bool
+CorrelationScreen::bitPerfectlyCorrelated(const HashedSampleTable &table,
+                                          unsigned bit)
+{
+    BitSplit s = splitByBit(table, bit);
+    if (s.total() == 0)
+        return false;
+    // Both outcomes must occur (a constant branch is "predicted"
+    // by anything) and the bit must decide every sample.
+    uint64_t taken = s.taken[0] + s.taken[1];
+    uint64_t notTaken = s.notTaken[0] + s.notTaken[1];
+    return taken > 0 && notTaken > 0 && s.splitMispredicts() == 0;
+}
+
+std::vector<unsigned>
+CorrelationScreen::distinctLengthIndices(
+    const std::vector<unsigned> &lengths)
+{
+    std::vector<unsigned> out;
+    out.reserve(lengths.size());
+    for (unsigned i = 0; i < lengths.size(); ++i) {
+        bool seen = false;
+        for (unsigned j : out)
+            if (lengths[j] == lengths[i]) {
+                seen = true;
+                break;
+            }
+        if (!seen)
+            out.push_back(i);
+    }
+    return out;
+}
+
+BranchScreen
+CorrelationScreen::screenBranch(
+    const BranchProfileEntry &entry,
+    const std::vector<unsigned> &lengths) const
+{
+    whisper_assert(entry.byLength.size() == lengths.size());
+    BranchScreen out;
+    if (!cfg_.enabled || lengths.empty()) {
+        out.lengthIdx = distinctLengthIndices(lengths);
+        return out;
+    }
+
+    // -- length selection: rank distinct lengths by oracle headroom,
+    // keep the top maxLengths; a length holding a perfectly
+    // correlated bit is kept unconditionally.
+    struct Scored
+    {
+        unsigned idx;
+        double gain;
+        bool perfect;
+    };
+    std::vector<Scored> scored;
+    for (unsigned idx : distinctLengthIndices(lengths)) {
+        const HashedSampleTable &table = entry.byLength[idx];
+        if (table.empty() || table.totalSamples() == 0)
+            continue;
+        Scored s{idx, lengthGain(table), false};
+        unsigned bits =
+            static_cast<unsigned>(std::countr_zero(table.taken.size()));
+        for (unsigned b = 0; b < bits && !s.perfect; ++b)
+            s.perfect = bitPerfectlyCorrelated(table, b);
+        scored.push_back(s);
+    }
+    // Stable sort, descending gain, perfect first; ties keep series
+    // order so the pass is deterministic.
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored &a, const Scored &b) {
+                         if (a.perfect != b.perfect)
+                             return a.perfect;
+                         return a.gain > b.gain;
+                     });
+    unsigned budget = std::max(1u, cfg_.maxLengths);
+    for (const Scored &s : scored) {
+        if (out.lengthIdx.size() >= budget && !s.perfect)
+            continue;
+        out.lengthIdx.push_back(s.idx);
+    }
+    std::sort(out.lengthIdx.begin(), out.lengthIdx.end());
+
+    // -- input-bit selection: union of informative bits over the
+    // kept lengths, scored by mutual information. Perfect bits are
+    // kept unconditionally; otherwise a bit must reach the relative
+    // threshold at some kept length.
+    unsigned hashBits = 0;
+    for (unsigned idx : out.lengthIdx)
+        hashBits = std::max(
+            hashBits, static_cast<unsigned>(std::countr_zero(
+                          entry.byLength[idx].taken.size())));
+    hashBits = std::min(hashBits, 8u);
+    if (hashBits == 0) {
+        out.inputMask = 0xFF;
+        return out;
+    }
+
+    double mi[8] = {};
+    bool perfect[8] = {};
+    double bestMi = 0.0;
+    for (unsigned idx : out.lengthIdx) {
+        const HashedSampleTable &table = entry.byLength[idx];
+        for (unsigned b = 0; b < hashBits; ++b) {
+            mi[b] = std::max(mi[b], bitMutualInformation(table, b));
+            perfect[b] =
+                perfect[b] || bitPerfectlyCorrelated(table, b);
+            bestMi = std::max(bestMi, mi[b]);
+        }
+    }
+    uint8_t mask = 0;
+    for (unsigned b = 0; b < hashBits; ++b)
+        if (perfect[b] || mi[b] >= bestMi * cfg_.bitKeepFraction)
+            mask |= static_cast<uint8_t>(1u << b);
+    // Top up to minBits with the best remaining bits (index order
+    // breaks ties deterministically).
+    unsigned floor = std::min(cfg_.minBits, hashBits);
+    while (static_cast<unsigned>(std::popcount(mask)) < floor) {
+        int bestBit = -1;
+        double best = -1.0;
+        for (unsigned b = 0; b < hashBits; ++b) {
+            if (mask & (1u << b))
+                continue;
+            if (mi[b] > best) {
+                best = mi[b];
+                bestBit = static_cast<int>(b);
+            }
+        }
+        if (bestBit < 0)
+            break;
+        mask |= static_cast<uint8_t>(1u << bestBit);
+    }
+    out.inputMask = mask ? mask : 0xFF;
+    return out;
+}
+
+} // namespace whisper

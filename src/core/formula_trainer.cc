@@ -13,10 +13,29 @@ TruthTableCache::TruthTableCache(unsigned numInputs)
 {
     uint32_t count = BoolFormula::encodingCount(numInputs);
     tables_.resize(count);
+    supports_.resize(count, 0);
+    uint32_t inputCount = 1u << numInputs;
     for (uint32_t enc = 0; enc < count; ++enc) {
         tables_[enc] =
             BoolFormula(static_cast<uint16_t>(enc), numInputs)
                 .truthTable();
+        const TruthTable &tt = tables_[enc];
+        uint8_t mask = 0;
+        for (unsigned bit = 0; bit < numInputs; ++bit) {
+            uint32_t flip = 1u << bit;
+            for (uint32_t v = 0; v < inputCount; ++v) {
+                if (v & flip)
+                    continue;
+                bool a = (tt[v / 64] >> (v % 64)) & 1;
+                uint32_t w = v | flip;
+                bool b = (tt[w / 64] >> (w % 64)) & 1;
+                if (a != b) {
+                    mask |= static_cast<uint8_t>(1u << bit);
+                    break;
+                }
+            }
+        }
+        supports_[enc] = mask;
     }
 }
 

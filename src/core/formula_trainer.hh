@@ -31,6 +31,19 @@ class TruthTableCache
     const TruthTable &table(uint16_t encoding) const;
     unsigned numInputs() const { return numInputs_; }
 
+    /**
+     * Support mask of @p encoding: bit i is set iff flipping input
+     * bit i changes the formula's output for some input vector.
+     * A formula's mispredictions depend only on its supported bits,
+     * so the sparse-correlation screen can discard candidates whose
+     * support touches an uninformative input.
+     */
+    uint8_t
+    supportMask(uint16_t encoding) const
+    {
+        return supports_[encoding];
+    }
+
     /** Evaluate encoding on packed inputs via the cached table. */
     bool
     evaluate(uint16_t encoding, uint8_t inputs) const
@@ -42,6 +55,7 @@ class TruthTableCache
   private:
     unsigned numInputs_;
     std::vector<TruthTable> tables_;
+    std::vector<uint8_t> supports_;
 };
 
 /**

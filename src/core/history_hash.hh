@@ -54,6 +54,18 @@ struct WhisperConfig
     double minGainPerExecution = 0.005;
     /** Ignore branches with fewer profiled mispredictions. */
     uint64_t minMispredictions = 16;
+    /**
+     * Warm-start quality retention. A warm seed skips the cold
+     * search only when its mispredict ratio on the *fresh* profile
+     * (best / baseline) is no worse than the ratio it achieved when
+     * it was trained, scaled by this slack plus a small absolute
+     * allowance for sampling noise between profiles. Without this,
+     * a drifted formula that still clears the 15% bias gate — while
+     * a cold search would find a far better one — pins the branch
+     * at degraded quality for as long as it keeps passing gates.
+     */
+    double warmRetentionSlack = 1.25;
+    double warmRetentionNoise = 0.02;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <unordered_map>
 
 #include "util/logging.hh"
 
@@ -15,6 +16,33 @@ WhisperTrainer::WhisperTrainer(const WhisperConfig &cfg,
                   cfg.formulaShuffleSeed),
       selected_(candidates_.encodings())
 {
+    // Screening is opt-in: the offline tools and figure benches
+    // reproduce the paper's exhaustive scan unless setScreen() is
+    // called (whisperd enables it by default).
+    ScreenConfig off;
+    off.enabled = false;
+    screen_ = CorrelationScreen(off);
+}
+
+void
+WhisperTrainer::setScreen(const ScreenConfig &cfg)
+{
+    screen_ = CorrelationScreen(cfg);
+}
+
+std::vector<uint16_t>
+WhisperTrainer::maskedCandidates(uint8_t mask) const
+{
+    if (mask == 0xFF)
+        return selected_;
+    std::vector<uint16_t> out;
+    out.reserve(selected_.size());
+    for (uint16_t enc : selected_)
+        if ((cache_.supportMask(enc) & ~mask) == 0)
+            out.push_back(enc);
+    if (out.size() < screen_.config().minFormulaCandidates)
+        return selected_;
+    return out;
 }
 
 void
@@ -48,76 +76,214 @@ WhisperTrainer::trainBranch(const BranchProfileEntry &entry,
                             const std::vector<unsigned> &lengths,
                             TrainedHint &out, uint64_t *scored) const
 {
+    BranchTrainOutcome outcome;
+    bool produced = trainBranchSeeded(entry, lengths, nullptr, out,
+                                      &outcome);
+    if (scored)
+        *scored += outcome.scored;
+    return produced;
+}
+
+namespace
+{
+
+/** Running winner of one branch's search. */
+struct BranchBest
+{
+    uint64_t mispredicts;
+    HintBias bias;
+    int lenIdx = -1;
+    uint16_t formula = 0;
+};
+
+/** The warm candidate set: the previous formula plus its one-bit-
+ * flip neighborhood in the 15-bit encoding space. */
+std::vector<uint16_t>
+warmNeighborhood(uint16_t encoding, unsigned numInputs)
+{
+    std::vector<uint16_t> encs;
+    uint32_t count = BoolFormula::encodingCount(numInputs);
+    encs.push_back(encoding);
+    for (unsigned bit = 0; bit < 16; ++bit) {
+        uint16_t flipped =
+            static_cast<uint16_t>(encoding ^ (1u << bit));
+        if (flipped < count)
+            encs.push_back(flipped);
+    }
+    return encs;
+}
+
+} // namespace
+
+bool
+WhisperTrainer::trainBranchSeeded(const BranchProfileEntry &entry,
+                                  const std::vector<unsigned> &lengths,
+                                  const TrainedHint *warm,
+                                  TrainedHint &out,
+                                  BranchTrainOutcome *outcome) const
+{
     whisper_assert(entry.hard, "trainBranch needs detailed tables");
     whisper_assert(entry.byLength.size() == lengths.size());
+    auto t0 = std::chrono::steady_clock::now();
+
+    const bool screened = screen_.config().enabled;
+    BranchScreen scr = screen_.screenBranch(entry, lengths);
+    std::vector<uint16_t> candidates =
+        screened ? maskedCandidates(scr.inputMask) : selected_;
+
+    BranchTrainOutcome local;
+    auto finish = [&](bool produced) {
+        local.seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        if (outcome)
+            *outcome = local;
+        return produced;
+    };
 
     // Start from the static-bias options: they are always available
     // through the brhint Bias field and cost no formula search.
-    uint64_t best = entry.biasMispredicts();
-    HintBias bestBias = entry.takenCount >= entry.notTakenCount()
-        ? HintBias::AlwaysTaken : HintBias::NeverTaken;
-    int bestLenIdx = -1;
-    uint16_t bestFormula = 0;
+    auto freshBest = [&]() {
+        return BranchBest{entry.biasMispredicts(),
+                          entry.takenCount >= entry.notTakenCount()
+                              ? HintBias::AlwaysTaken
+                              : HintBias::NeverTaken};
+    };
 
-    for (size_t l = 0; l < lengths.size(); ++l) {
-        if (entry.byLength[l].totalSamples() == 0)
-            continue;
-        FormulaSearchResult res =
-            findBooleanFormula(entry.byLength[l], selected_, cache_);
-        if (scored)
-            *scored += res.explored;
-        if (res.valid && res.mispredicts < best) {
-            best = res.mispredicts;
-            bestBias = HintBias::Formula;
-            bestLenIdx = static_cast<int>(l);
-            bestFormula = res.formula.encoding();
+    auto searchLengths = [&](BranchBest &best,
+                             const std::vector<uint16_t> &encs) {
+        for (unsigned l : scr.lengthIdx) {
+            if (entry.byLength[l].totalSamples() == 0)
+                continue;
+            FormulaSearchResult res =
+                findBooleanFormula(entry.byLength[l], encs, cache_);
+            local.scored += res.explored;
+            if (res.valid && res.mispredicts < best.mispredicts) {
+                best.mispredicts = res.mispredicts;
+                best.bias = HintBias::Formula;
+                best.lenIdx = static_cast<int>(l);
+                best.formula = res.formula.encoding();
+            }
         }
-    }
+    };
 
     // Emit only when the winner beats the profiled predictor by the
     // configured relative margin (paper SIV: "only if Boolean
     // formula-based prediction achieves better accuracy than the
     // profiled processor's predictor") AND the absolute per-
     // execution gain is worth a hint.
-    double baseline =
-        static_cast<double>(entry.baselineMispredicts);
-    if (static_cast<double>(best) >=
-        baseline * (1.0 - cfg_.minImprovement))
-        return false;
-    double gainPerExec =
-        (baseline - static_cast<double>(best)) /
-        static_cast<double>(std::max<uint64_t>(entry.executions, 1));
-    if (gainPerExec < cfg_.minGainPerExecution)
-        return false;
+    auto passesGates = [&](const BranchBest &best) {
+        double baseline =
+            static_cast<double>(entry.baselineMispredicts);
+        if (static_cast<double>(best.mispredicts) >=
+            baseline * (1.0 - cfg_.minImprovement))
+            return false;
+        double gainPerExec =
+            (baseline - static_cast<double>(best.mispredicts)) /
+            static_cast<double>(
+                std::max<uint64_t>(entry.executions, 1));
+        return gainPerExec >= cfg_.minGainPerExecution;
+    };
 
-    out.pc = entry.pc;
-    out.hint.historyIdx =
-        bestLenIdx < 0 ? 0 : static_cast<uint8_t>(bestLenIdx);
-    out.hint.formula = bestFormula;
-    out.hint.bias = bestBias;
-    out.hint.pcPointer = BrHint::pcPointerFor(entry.pc);
-    out.historyLength = bestLenIdx < 0 ? 0 : lengths[bestLenIdx];
-    out.expectedMispredicts = best;
-    out.profiledMispredicts = entry.baselineMispredicts;
-    out.executions = entry.executions;
-    return true;
+    auto emit = [&](const BranchBest &best) {
+        out.pc = entry.pc;
+        out.hint.historyIdx = best.lenIdx < 0
+            ? 0 : static_cast<uint8_t>(best.lenIdx);
+        out.hint.formula = best.formula;
+        out.hint.bias = best.bias;
+        out.hint.pcPointer = BrHint::pcPointerFor(entry.pc);
+        out.historyLength =
+            best.lenIdx < 0 ? 0 : lengths[best.lenIdx];
+        out.expectedMispredicts = best.mispredicts;
+        out.profiledMispredicts = entry.baselineMispredicts;
+        out.executions = entry.executions;
+    };
+
+    // -- warm path: re-score the previous hint (for formulas, its
+    // one-bit-flip neighborhood too) on the fresh tables. The gates
+    // run against the *fresh* profile, so a seed that decorrelated
+    // since the last epoch fails here and falls through to cold.
+    if (warm) {
+        // Clearing the emission gates alone is not enough for a
+        // warm hit: a drifted formula can still beat the bias by
+        // the minimum margin while a cold search would find a far
+        // better one. Require the seed's relative quality to
+        // survive on the fresh profile too.
+        auto retainsQuality = [&](const BranchBest &best) {
+            double seedRatio =
+                static_cast<double>(warm->expectedMispredicts) /
+                static_cast<double>(std::max<uint64_t>(
+                    warm->profiledMispredicts, 1));
+            double freshRatio =
+                static_cast<double>(best.mispredicts) /
+                static_cast<double>(std::max<uint64_t>(
+                    entry.baselineMispredicts, 1));
+            return freshRatio <=
+                   seedRatio * cfg_.warmRetentionSlack +
+                       cfg_.warmRetentionNoise;
+        };
+        BranchBest best = freshBest();
+        if (warm->hint.bias == HintBias::Formula)
+            searchLengths(best,
+                          warmNeighborhood(warm->hint.formula,
+                                           cache_.numInputs()));
+        if (passesGates(best) && retainsQuality(best)) {
+            emit(best);
+            local.warmHit = true;
+            return finish(true);
+        }
+    }
+
+    // -- cold (possibly pruned) search.
+    BranchBest best = freshBest();
+    searchLengths(best, candidates);
+    if (!passesGates(best))
+        return finish(false);
+    emit(best);
+    return finish(true);
 }
 
 std::vector<TrainedHint>
 WhisperTrainer::train(const BranchProfile &profile,
                       TrainingStats *stats) const
 {
+    return train(profile, nullptr, stats);
+}
+
+std::vector<TrainedHint>
+WhisperTrainer::train(const BranchProfile &profile,
+                      const std::vector<TrainedHint> *warmSeeds,
+                      TrainingStats *stats) const
+{
     auto start = std::chrono::steady_clock::now();
     TrainingStats local;
+
+    std::unordered_map<uint64_t, const TrainedHint *> seeds;
+    if (warmSeeds)
+        for (const TrainedHint &h : *warmSeeds)
+            seeds.emplace(h.pc, &h);
 
     std::vector<TrainedHint> hints;
     for (const BranchProfileEntry *entry : profile.hardBranches()) {
         if (entry->baselineMispredicts < cfg_.minMispredictions)
             continue;
         ++local.branchesConsidered;
+        const TrainedHint *warm = nullptr;
+        if (auto it = seeds.find(entry->pc); it != seeds.end())
+            warm = it->second;
         TrainedHint hint;
-        if (trainBranch(*entry, profile.lengths(), hint,
-                        &local.formulasScored)) {
+        BranchTrainOutcome outcome;
+        bool produced = trainBranchSeeded(*entry, profile.lengths(),
+                                          warm, hint, &outcome);
+        local.formulasScored += outcome.scored;
+        if (outcome.warmHit)
+            ++local.warmHits;
+        else
+            ++local.coldSearches;
+        local.branchSecondsSum += outcome.seconds;
+        local.branchSecondsMax =
+            std::max(local.branchSecondsMax, outcome.seconds);
+        if (produced) {
             local.coveredMispredicts += hint.profiledMispredicts;
             local.expectedRemaining += hint.expectedMispredicts;
             hints.push_back(hint);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/brhint.hh"
+#include "core/correlation_screen.hh"
 #include "core/formula_trainer.hh"
 #include "core/profile.hh"
 
@@ -46,6 +47,25 @@ struct TrainingStats
     uint64_t coveredMispredicts = 0;
     /** Expected remaining mispredictions on those branches. */
     uint64_t expectedRemaining = 0;
+
+    // -- warm-start accounting --
+    /** Branches whose warm seed (previous formula + neighborhood)
+     * satisfied the emission gates, skipping the cold search. */
+    uint64_t warmHits = 0;
+    /** Branches that ran the full (possibly pruned) search. */
+    uint64_t coldSearches = 0;
+    /** Per-branch train-time accumulators (mean = sum over
+     * branchesConsidered). */
+    double branchSecondsSum = 0.0;
+    double branchSecondsMax = 0.0;
+};
+
+/** Per-branch outcome of one trainBranchSeeded call. */
+struct BranchTrainOutcome
+{
+    bool warmHit = false;  //!< emitted straight from the warm seed
+    uint64_t scored = 0;   //!< formulas scored for this branch
+    double seconds = 0.0;  //!< wall time spent on this branch
 };
 
 /** Whisper's offline trainer. */
@@ -67,12 +87,49 @@ class WhisperTrainer
                                    TrainingStats *stats = nullptr) const;
 
     /**
+     * Warm-started variant: @p warmSeeds (typically the previous
+     * epoch's deployed hints) seed the per-branch search; branches
+     * without a seed train cold.
+     */
+    std::vector<TrainedHint>
+    train(const BranchProfile &profile,
+          const std::vector<TrainedHint> *warmSeeds,
+          TrainingStats *stats) const;
+
+    /**
      * Train a single branch; returns false when no hint beats the
      * profiled predictor for it.
      */
     bool trainBranch(const BranchProfileEntry &entry,
                      const std::vector<unsigned> &lengths,
                      TrainedHint &out, uint64_t *scored = nullptr) const;
+
+    /**
+     * Train one branch, optionally warm-started from @p warm (the
+     * branch's previously deployed hint, or nullptr for a cold
+     * search). The warm path re-scores the previous formula and its
+     * one-bit-flip neighborhood on the fresh profile; if that
+     * neighborhood still clears the emission gates AND retains the
+     * seed's trained quality ratio (expectedMispredicts /
+     * profiledMispredicts, within warmRetentionSlack/-Noise) the
+     * hint is emitted without a cold search (outcome->warmHit). A
+     * seed that fails either check falls through to the cold
+     * search, so decorrelated traffic never inherits a stale or
+     * degraded formula. With screening enabled (setScreen) both
+     * paths search only the pruned candidate set.
+     */
+    bool trainBranchSeeded(const BranchProfileEntry &entry,
+                           const std::vector<unsigned> &lengths,
+                           const TrainedHint *warm, TrainedHint &out,
+                           BranchTrainOutcome *outcome
+                           = nullptr) const;
+
+    /** Enable/replace the sparse-correlation screening pass. */
+    void setScreen(const ScreenConfig &cfg);
+    const ScreenConfig &screenConfig() const
+    {
+        return screen_.config();
+    }
 
     const FormulaCandidates &candidates() const { return candidates_; }
     const WhisperConfig &config() const { return cfg_; }
@@ -92,10 +149,15 @@ class WhisperTrainer
     static std::vector<uint16_t> monotoneCandidates();
 
   private:
+    /** selected_ filtered to formulas supported by @p mask (with
+     * the unfiltered fallback when too few survive). */
+    std::vector<uint16_t> maskedCandidates(uint8_t mask) const;
+
     WhisperConfig cfg_;
     const TruthTableCache &cache_;
     FormulaCandidates candidates_;
     std::vector<uint16_t> selected_;
+    CorrelationScreen screen_;
 };
 
 } // namespace whisper

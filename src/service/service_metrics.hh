@@ -47,6 +47,13 @@ struct TenantMetrics
     double trainLatencyMax = 0.0;
     double hintsPerEpochMean = 0.0;
 
+    // -- warm-start / screening --
+    uint64_t warmHits = 0;          //!< branches emitted from seeds
+    uint64_t coldSearches = 0;      //!< branches searched cold
+    uint64_t warmFallbackEpochs = 0; //!< epochs retrained cold
+    double branchTrainMsMean = 0.0; //!< per-branch train time
+    double branchTrainMsMax = 0.0;
+
     // -- deployment --
     uint64_t bundlesAccepted = 0;
     uint64_t bundlesRejected = 0;
@@ -80,6 +87,15 @@ struct ServiceMetrics
     RunningStat trainLatency;    //!< seconds per training epoch
     RunningStat hintsPerEpoch;   //!< bundle size per epoch
     RatioStat bundleAcceptance;  //!< accepted / proposed
+    /** Warm-start / sparse-correlation screening: branches whose
+     * previous-epoch seed cleared the gates vs branches searched
+     * cold, epochs where a regressing warm candidate forced a cold
+     * retrain, and the per-branch train time (ms, one sample = one
+     * epoch's mean). */
+    uint64_t warmHits = 0;
+    uint64_t coldSearches = 0;
+    uint64_t warmFallbackEpochs = 0;
+    RunningStat branchTrainMs;
     /** Validation MPKI of the deployed configuration after each
      * epoch minus before it (negative = the swap helped). */
     RunningStat deployedMpkiDelta;
@@ -135,6 +151,18 @@ struct ServiceMetrics
                   num(trainLatency.max())});
         t.addRow({"hints per epoch (mean)",
                   num(hintsPerEpoch.mean())});
+        t.addRow({"warm-start hits (branches)",
+                  std::to_string(warmHits)});
+        t.addRow({"cold searches (branches)",
+                  std::to_string(coldSearches)});
+        t.addRow({"warm-fallback epochs",
+                  std::to_string(warmFallbackEpochs)});
+        t.addRow({"branch train time (ms, mean)",
+                  TableReporter::formatDouble(branchTrainMs.mean(),
+                                              3)});
+        t.addRow({"branch train time (ms, max)",
+                  TableReporter::formatDouble(branchTrainMs.max(),
+                                              3)});
         t.addRow({"bundles accepted",
                   std::to_string(bundleAcceptance.hits())});
         t.addRow({"bundles rejected",
@@ -188,6 +216,7 @@ struct ServiceMetrics
         t.setHeader({"tenant", "chunks", "records", "drop-chunks",
                      "drop-jobs", "epochs", "accept", "reject",
                      "rollbk", "deploy-epoch", "hints", "train-s",
+                     "warm", "cold", "fallbk", "br-ms",
                      "val-acc%", "resume-epoch"});
         TenantMetrics all;
         auto row = [&](const std::string &name,
@@ -204,14 +233,26 @@ struct ServiceMetrics
                       std::to_string(m.hintsDeployed),
                       TableReporter::formatDouble(
                           m.trainLatencyMean, 3),
+                      std::to_string(m.warmHits),
+                      std::to_string(m.coldSearches),
+                      std::to_string(m.warmFallbackEpochs),
+                      TableReporter::formatDouble(
+                          m.branchTrainMsMean, 3),
                       TableReporter::formatDouble(
                           100.0 * m.lastValidationAccuracy, 3),
                       std::to_string(m.journalResumedEpoch)});
         };
         double latencySum = 0.0;
         double accuracySum = 0.0;
+        double branchMsSum = 0.0;
         for (const auto &[name, m] : tenants) {
             row(name, m);
+            all.warmHits += m.warmHits;
+            all.coldSearches += m.coldSearches;
+            all.warmFallbackEpochs += m.warmFallbackEpochs;
+            all.branchTrainMsMax = std::max(all.branchTrainMsMax,
+                                            m.branchTrainMsMax);
+            branchMsSum += m.branchTrainMsMean;
             all.chunksRouted += m.chunksRouted;
             all.recordsRouted += m.recordsRouted;
             all.chunksDropped += m.chunksDropped;
@@ -232,6 +273,7 @@ struct ServiceMetrics
         size_t n = tenants.size();
         all.trainLatencyMean = n ? latencySum / n : 0.0;
         all.lastValidationAccuracy = n ? accuracySum / n : 0.0;
+        all.branchTrainMsMean = n ? branchMsSum / n : 0.0;
         row("ALL", all);
         t.print(os);
     }

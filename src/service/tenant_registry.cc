@@ -56,6 +56,11 @@ Tenant::metrics() const
         m.trainLatencyMean = counters_.trainLatency.mean();
         m.trainLatencyMax = counters_.trainLatency.max();
         m.hintsPerEpochMean = counters_.hintsPerEpoch.mean();
+        m.warmHits = counters_.warmHits;
+        m.coldSearches = counters_.coldSearches;
+        m.warmFallbackEpochs = counters_.warmFallbackEpochs;
+        m.branchTrainMsMean = counters_.branchTrainMs.mean();
+        m.branchTrainMsMax = counters_.branchTrainMs.max();
         m.lastValidationAccuracy = counters_.lastValidationAccuracy;
         m.journalResumedEpoch = counters_.journalResumedEpoch;
         m.journalRecoveredRecords = counters_.journalRecoveredRecords;

@@ -125,6 +125,10 @@ class Tenant
         uint64_t epochsRun = 0;
         RunningStat trainLatency;
         RunningStat hintsPerEpoch;
+        uint64_t warmHits = 0;
+        uint64_t coldSearches = 0;
+        uint64_t warmFallbackEpochs = 0;
+        RunningStat branchTrainMs;
         double lastValidationAccuracy = 0.0;
         uint64_t journalResumedEpoch = 0;
         uint64_t journalRecoveredRecords = 0;

@@ -394,25 +394,64 @@ TenantRouter::trainEpoch(TrainingPool &pool, TrainJob &job)
     auto t0 = clock::now();
 
     WhisperTrainer trainer(cfg_.whisper, cache_);
-    TrainingStats stats;
-    HintBundle candidate;
-    candidate.hints = pool.train(trainer, job.profile, &stats);
-
-    HintInjector injector(cfg_.injector);
-    if (!job.placement.empty()) {
-        ChunkSource placementSource(job.placement);
-        candidate.placements =
-            injector.place(placementSource, candidate.hints);
+    if (cfg_.trainPrune) {
+        ScreenConfig screen = cfg_.screen;
+        screen.enabled = true;
+        trainer.setScreen(screen);
     }
 
-    double trainSecs =
-        std::chrono::duration<double>(clock::now() - t0).count();
-
     HintStore::Snapshot incumbent = tenant.store.current();
+    const std::vector<TrainedHint> *warmSeeds =
+        cfg_.warmStart && incumbent ? &incumbent->bundle.hints
+                                    : nullptr;
+
+    TrainingStats stats;
+    HintBundle candidate;
+    candidate.hints =
+        pool.train(trainer, job.profile, warmSeeds, &stats);
+
+    HintInjector injector(cfg_.injector);
+    auto placeCandidate = [&](HintBundle &bundle) {
+        if (job.placement.empty())
+            return;
+        ChunkSource placementSource(job.placement);
+        bundle.placements =
+            injector.place(placementSource, bundle.hints);
+    };
+    placeCandidate(candidate);
+
     PredictorRunStats incumbentStats = evalOnRecords(
         job.validation, incumbent ? &incumbent->bundle : nullptr);
     PredictorRunStats candidateStats =
         evalOnRecords(job.validation, &candidate);
+
+    // Warm-start safety valve (same contract as Whisperd): a warm
+    // candidate that is worse than the incumbent on the holdout —
+    // stale formulas pinning the search — forces a cold retrain of
+    // this epoch.
+    uint64_t warmFallback = 0;
+    if (warmSeeds && stats.warmHits > 0 &&
+        candidateStats.accuracy() + cfg_.warmFallbackMargin <
+            incumbentStats.accuracy()) {
+        warmFallback = 1;
+        TrainingStats coldStats;
+        HintBundle coldCandidate;
+        coldCandidate.hints =
+            pool.train(trainer, job.profile, nullptr, &coldStats);
+        placeCandidate(coldCandidate);
+        candidate = std::move(coldCandidate);
+        candidateStats = evalOnRecords(job.validation, &candidate);
+        stats.formulasScored += coldStats.formulasScored;
+        stats.branchSecondsSum += coldStats.branchSecondsSum;
+        stats.branchSecondsMax = std::max(stats.branchSecondsMax,
+                                          coldStats.branchSecondsMax);
+        stats.warmHits = 0;
+        stats.coldSearches = coldStats.coldSearches;
+        stats.hintsEmitted = coldStats.hintsEmitted;
+    }
+
+    double trainSecs =
+        std::chrono::duration<double>(clock::now() - t0).count();
 
     size_t hints = candidate.hints.size();
     bool accepted = tenant.store.propose(
@@ -426,6 +465,13 @@ TenantRouter::trainEpoch(TrainingPool &pool, TrainJob &job)
         ++c.epochsRun;
         c.trainLatency.add(trainSecs);
         c.hintsPerEpoch.add(static_cast<double>(hints));
+        c.warmHits += stats.warmHits;
+        c.coldSearches += stats.coldSearches;
+        c.warmFallbackEpochs += warmFallback;
+        if (stats.branchesConsidered > 0)
+            c.branchTrainMs.add(
+                1e3 * stats.branchSecondsSum /
+                static_cast<double>(stats.branchesConsidered));
         c.lastValidationAccuracy = deployedAccuracy;
         c.tasksRequeued += sup.tasksRequeued;
         c.taskFailures += sup.taskFailures;
@@ -490,6 +536,11 @@ TenantRouter::metrics() const
         m.taskFailures += tm.taskFailures;
         m.branchesDegraded += tm.branchesDegraded;
         m.workersDied += tm.workersDied;
+        m.warmHits += tm.warmHits;
+        m.coldSearches += tm.coldSearches;
+        m.warmFallbackEpochs += tm.warmFallbackEpochs;
+        if (tm.epochsRun > 0)
+            m.branchTrainMs.add(tm.branchTrainMsMean);
         m.journalAppendFailures += tenant->journal.appendFailures();
         m.journalRepairs += tenant->journal.repairs();
         m.journalResumedEpoch = std::max(m.journalResumedEpoch,

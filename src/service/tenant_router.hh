@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/correlation_screen.hh"
 #include "core/formula_trainer.hh"
 #include "core/hint_injection.hh"
 #include "service/tenant_registry.hh"
@@ -79,6 +80,16 @@ struct TenantRouterConfig
     std::string journalDir;
     uint64_t trainTaskDeadlineMs = 30'000;
     unsigned trainMaxAttempts = 3;
+
+    /** Sparse-correlation screening before formula search
+     * (--train-prune); applies to every tenant. */
+    bool trainPrune = true;
+    ScreenConfig screen;
+    /** Warm-start each tenant epoch from its deployed bundle
+     * (--warm-start); a warm candidate regressing vs the incumbent
+     * beyond warmFallbackMargin retrains the epoch cold. */
+    bool warmStart = true;
+    double warmFallbackMargin = 0.0;
 
     /** Quota applied to tenants registered without an explicit one
      * (including auto-registered tenants). */

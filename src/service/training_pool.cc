@@ -8,6 +8,7 @@
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "service/fault_injection.hh"
 #include "util/logging.hh"
@@ -64,17 +65,35 @@ TrainingPool::train(const WhisperTrainer &trainer,
                     const BranchProfile &profile,
                     TrainingStats *stats) const
 {
+    return train(trainer, profile, nullptr, stats);
+}
+
+std::vector<TrainedHint>
+TrainingPool::train(const WhisperTrainer &trainer,
+                    const BranchProfile &profile,
+                    const std::vector<TrainedHint> *warmSeeds,
+                    TrainingStats *stats) const
+{
     auto start = std::chrono::steady_clock::now();
     const WhisperConfig &cfg = trainer.config();
 
+    std::unordered_map<uint64_t, const TrainedHint *> seeds;
+    if (warmSeeds)
+        for (const TrainedHint &h : *warmSeeds)
+            seeds.emplace(h.pc, &h);
+
     // Same work list and order as WhisperTrainer::train.
     std::vector<const BranchProfileEntry *> work;
+    std::vector<const TrainedHint *> warm;
     for (const BranchProfileEntry *entry : profile.hardBranches())
-        if (entry->baselineMispredicts >= cfg.minMispredictions)
+        if (entry->baselineMispredicts >= cfg.minMispredictions) {
             work.push_back(entry);
+            auto it = seeds.find(entry->pc);
+            warm.push_back(it == seeds.end() ? nullptr : it->second);
+        }
 
     std::vector<std::optional<TrainedHint>> slots(work.size());
-    std::vector<uint64_t> scored(work.size(), 0);
+    std::vector<BranchTrainOutcome> outcomes(work.size());
     std::vector<Task> tasks(work.size());
 
     std::mutex mtx;
@@ -171,7 +190,7 @@ TrainingPool::train(const WhisperTrainer &trainer,
             }
 
             TrainedHint hint;
-            uint64_t hintScored = 0;
+            BranchTrainOutcome outcome;
             bool produced = false;
             bool failed = false;
             try {
@@ -180,8 +199,9 @@ TrainingPool::train(const WhisperTrainer &trainer,
                     throw std::runtime_error(
                         "injected training failure");
                 }
-                produced = trainer.trainBranch(
-                    *work[i], profile.lengths(), hint, &hintScored);
+                produced = trainer.trainBranchSeeded(
+                    *work[i], profile.lengths(), warm[i], hint,
+                    &outcome);
             } catch (const std::exception &e) {
                 failed = true;
                 taskFailures.fetch_add(1, std::memory_order_relaxed);
@@ -211,7 +231,7 @@ TrainingPool::train(const WhisperTrainer &trainer,
                                                          kDone)) {
                     if (produced)
                         slots[i] = hint;
-                    scored[i] = hintScored;
+                    outcomes[i] = outcome;
                     resolve();
                     break;
                 }
@@ -286,7 +306,14 @@ TrainingPool::train(const WhisperTrainer &trainer,
     local.branchesConsidered = work.size();
     std::vector<TrainedHint> hints;
     for (size_t i = 0; i < work.size(); ++i) {
-        local.formulasScored += scored[i];
+        local.formulasScored += outcomes[i].scored;
+        if (outcomes[i].warmHit)
+            ++local.warmHits;
+        else
+            ++local.coldSearches;
+        local.branchSecondsSum += outcomes[i].seconds;
+        local.branchSecondsMax =
+            std::max(local.branchSecondsMax, outcomes[i].seconds);
         if (slots[i]) {
             local.coveredMispredicts += slots[i]->profiledMispredicts;
             local.expectedRemaining += slots[i]->expectedMispredicts;

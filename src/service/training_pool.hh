@@ -77,6 +77,19 @@ class TrainingPool
                                    TrainingStats *stats
                                    = nullptr) const;
 
+    /**
+     * Warm-started variant — the exact result of
+     * WhisperTrainer::train(profile, warmSeeds): each branch with a
+     * seed in @p warmSeeds (typically the previous epoch's deployed
+     * hints) re-scores it first and skips the cold search when it
+     * still clears the gates. Deterministic and bit-identical for
+     * any worker count, like the cold path.
+     */
+    std::vector<TrainedHint>
+    train(const WhisperTrainer &trainer, const BranchProfile &profile,
+          const std::vector<TrainedHint> *warmSeeds,
+          TrainingStats *stats) const;
+
     /** Supervision tally of the most recent train() call. */
     const SupervisionStats &supervision() const { return supervision_; }
 

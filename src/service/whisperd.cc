@@ -172,15 +172,61 @@ Whisperd::trainEpoch()
     BranchProfile profile = shards_->aggregate();
 
     WhisperTrainer trainer(cfg_.whisper, cache_);
+    if (cfg_.trainPrune) {
+        ScreenConfig screen = cfg_.screen;
+        screen.enabled = true;
+        trainer.setScreen(screen);
+    }
+
+    HintStore::Snapshot incumbent = store_.current();
+    const std::vector<TrainedHint> *warmSeeds =
+        cfg_.warmStart && incumbent ? &incumbent->bundle.hints
+                                    : nullptr;
+
     TrainingStats stats;
     HintBundle candidate;
-    candidate.hints = pool_.train(trainer, profile, &stats);
+    candidate.hints = pool_.train(trainer, profile, warmSeeds,
+                                  &stats);
 
     HintInjector injector(cfg_.injector);
-    if (!placementWindow_.empty()) {
+    auto placeCandidate = [&](HintBundle &bundle) {
+        if (placementWindow_.empty())
+            return;
         ChunkSource placementSource(placementWindow_);
-        candidate.placements =
-            injector.place(placementSource, candidate.hints);
+        bundle.placements =
+            injector.place(placementSource, bundle.hints);
+    };
+    placeCandidate(candidate);
+
+    // Validate against the incumbent on the held-out window.
+    PredictorRunStats incumbentStats =
+        evalOnValidation(incumbent ? &incumbent->bundle : nullptr);
+    PredictorRunStats candidateStats = evalOnValidation(&candidate);
+
+    // Warm-start safety valve: formulas inherited from the previous
+    // epoch must not regress the deployed configuration. When the
+    // warm candidate is *worse* than the incumbent on the holdout
+    // (not merely short of beating it), retrain the epoch cold so a
+    // stale neighborhood cannot pin the search.
+    if (warmSeeds && stats.warmHits > 0 &&
+        candidateStats.accuracy() + cfg_.warmFallbackMargin <
+            incumbentStats.accuracy()) {
+        ++metrics_.warmFallbackEpochs;
+        TrainingStats coldStats;
+        HintBundle coldCandidate;
+        coldCandidate.hints =
+            pool_.train(trainer, profile, nullptr, &coldStats);
+        placeCandidate(coldCandidate);
+        candidate = std::move(coldCandidate);
+        candidateStats = evalOnValidation(&candidate);
+        // The epoch paid both searches; report the combined cost.
+        stats.formulasScored += coldStats.formulasScored;
+        stats.branchSecondsSum += coldStats.branchSecondsSum;
+        stats.branchSecondsMax = std::max(stats.branchSecondsMax,
+                                          coldStats.branchSecondsMax);
+        stats.warmHits = 0;
+        stats.coldSearches = coldStats.coldSearches;
+        stats.hintsEmitted = coldStats.hintsEmitted;
     }
 
     double trainSecs =
@@ -188,12 +234,12 @@ Whisperd::trainEpoch()
     metrics_.trainLatency.add(trainSecs);
     metrics_.hintsPerEpoch.add(
         static_cast<double>(candidate.hints.size()));
-
-    // Validate against the incumbent on the held-out window.
-    HintStore::Snapshot incumbent = store_.current();
-    PredictorRunStats incumbentStats =
-        evalOnValidation(incumbent ? &incumbent->bundle : nullptr);
-    PredictorRunStats candidateStats = evalOnValidation(&candidate);
+    metrics_.warmHits += stats.warmHits;
+    metrics_.coldSearches += stats.coldSearches;
+    if (stats.branchesConsidered > 0)
+        metrics_.branchTrainMs.add(
+            1e3 * stats.branchSecondsSum /
+            static_cast<double>(stats.branchesConsidered));
 
     size_t hints = candidate.hints.size();
     bool accepted = store_.propose(

@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "core/correlation_screen.hh"
 #include "core/formula_trainer.hh"
 #include "core/hint_injection.hh"
 #include "sim/runner.hh"
@@ -72,6 +73,17 @@ struct WhisperdConfig
      * attempts before a branch is degraded to the baseline. */
     uint64_t trainTaskDeadlineMs = 30'000;
     unsigned trainMaxAttempts = 3;
+
+    /** Sparse-correlation screening of the per-branch candidate
+     * space before formula search (--train-prune). */
+    bool trainPrune = true;
+    ScreenConfig screen;
+    /** Seed each epoch's search from the previous deployed bundle
+     * (--warm-start); a warm candidate that regresses vs the
+     * incumbent on the validation holdout beyond
+     * warmFallbackMargin triggers a cold retrain of the epoch. */
+    bool warmStart = true;
+    double warmFallbackMargin = 0.0;
 };
 
 /** The service. One instance per monitored application. */

@@ -126,15 +126,24 @@ using ProposalLog = std::vector<Proposal>;
  * window, and propose to the store with @p margin. The fleet
  * predictor is the consultant-managed Whisper-over-TAGE, swapped in
  * place on every accepted deployment.
+ *
+ * @p trainPrune enables the sparse-correlation screen; @p warmStart
+ * seeds each retraining with the deployed bundle's hints (whisperd's
+ * production defaults). @p trainTotals accumulates per-retrain
+ * TrainingStats counters (warmHits/coldSearches/formulasScored).
  */
 AdaptiveRunStats
 runOnlineWhisperd(const std::vector<BranchRecord> &stream,
                   uint64_t window, unsigned trainEvery,
                   unsigned historyWindows, double margin,
                   const ExperimentConfig &cfg, HintStore &store,
-                  ProposalLog *proposals = nullptr)
+                  ProposalLog *proposals = nullptr,
+                  bool trainPrune = false, bool warmStart = false,
+                  TrainingStats *trainTotals = nullptr)
 {
     WhisperTrainer trainer(cfg.whisper, globalTruthTables());
+    if (trainPrune)
+        trainer.setScreen(ScreenConfig{});
     HintInjector injector(cfg.injector);
     TrainingPool pool(2);
     HintStoreConsultant consultant(
@@ -173,7 +182,20 @@ runOnlineWhisperd(const std::vector<BranchRecord> &stream,
             BranchProfile profile = profiler.profileChunk(recent);
             if (profile.numBranches() > 0) {
                 HintBundle candidate;
-                candidate.hints = pool.train(trainer, profile);
+                HintStore::Snapshot seed =
+                    warmStart ? store.current() : nullptr;
+                TrainingStats tstats;
+                candidate.hints = pool.train(
+                    trainer, profile,
+                    seed ? &seed->bundle.hints : nullptr, &tstats);
+                if (trainTotals) {
+                    trainTotals->branchesConsidered +=
+                        tstats.branchesConsidered;
+                    trainTotals->warmHits += tstats.warmHits;
+                    trainTotals->coldSearches += tstats.coldSearches;
+                    trainTotals->formulasScored +=
+                        tstats.formulasScored;
+                }
                 ChunkSource placeSrc(recent);
                 candidate.placements =
                     injector.place(placeSrc, candidate.hints);
@@ -696,6 +718,52 @@ TEST(Recovery, RedeployRestoresAccuracyAfterPhaseChange)
     EXPECT_LE(epochRate(online, 11), preDrift + 0.01);
 }
 
+TEST(Recovery, WarmStartDoesNotSlowRecoveryAfterDrift)
+{
+    // The warm-start leg of the recovery contract: with pruning and
+    // warm seeding enabled (whisperd's production defaults), the
+    // adaptive loop must recover from the same phase change within
+    // the SAME bounds as the cold loop above. The branch-level gates
+    // re-validate every seed on the fresh post-drift profile, so a
+    // decorrelated seed falls through to the cold search instead of
+    // pinning the service to a stale formula.
+    ExperimentConfig cfg;
+    cfg.profile.maxHardBranches = 256;
+
+    const AppConfig &app = appByName("kafka");
+    DriftSpec drift;
+    drift.kind = DriftKind::Phase;
+    drift.periodRecords = 120'000;
+    drift.phases = 2;
+    drift.intensity = 0.7;
+    const uint64_t total = 480'000, window = 30'000;
+
+    std::vector<BranchRecord> stream =
+        genDrift(app, 0, total, drift);
+
+    HintStore store;
+    TrainingStats totals;
+    AdaptiveRunStats online = runOnlineWhisperd(
+        stream, window, /*trainEvery=*/2, /*historyWindows=*/2,
+        /*margin=*/0.0, cfg, store, nullptr, /*trainPrune=*/true,
+        /*warmStart=*/true, &totals);
+
+    ASSERT_EQ(online.perEpoch.size(), 16u);
+    EXPECT_GE(store.accepted(), 2u);
+    // The warm path must actually engage across the run, and the
+    // accounting must balance.
+    EXPECT_GT(totals.warmHits, 0u);
+    EXPECT_EQ(totals.warmHits + totals.coldSearches,
+              totals.branchesConsidered);
+
+    double preDrift = epochRate(online, 3);
+    // Post-redeploy recovery within the cold loop's bounds: +0.02
+    // by the end of the drifted segment, +0.01 once the original
+    // phase returns.
+    EXPECT_LE(epochRate(online, 7), preDrift + 0.02);
+    EXPECT_LE(epochRate(online, 11), preDrift + 0.01);
+}
+
 TEST(Recovery, AdversarialDecorrelationRejectsInsteadOfDeploying)
 {
     ExperimentConfig cfg;
@@ -733,10 +801,12 @@ TEST(Recovery, AdversarialDecorrelationRejectsInsteadOfDeploying)
     // window: the post-drift accepts are hint-retracting bundles
     // that beat the stale incumbent on decorrelated traffic, which
     // is adaptation, not a bad deploy.
-    for (const auto &p : proposals)
-        if (p.accepted)
+    for (const auto &p : proposals) {
+        if (p.accepted) {
             EXPECT_GT(p.candAcc, p.incAcc)
                 << "epoch " << p.epoch;
+        }
+    }
 
     // Rollback-on-regression, provoked directly: retrain a bundle
     // purely on the correlated prefix (the regressing deploy an

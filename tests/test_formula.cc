@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/correlation_screen.hh"
 #include "core/formula.hh"
 #include "core/formula_gates.hh"
 #include "core/formula_trainer.hh"
@@ -341,6 +342,62 @@ TEST(FindBooleanFormula, RandomizedSubsetIsNearOptimal)
     // history lengths and the bias fallback per branch).
     EXPECT_LE(randomized.mispredicts, 2 * exhaustive.mispredicts);
     EXPECT_GT(exhaustive.mispredicts, 0u); // noise floor exists
+}
+
+// ---------------------------------------------------------------
+// Length dedup: the top-K budget counts *distinct* lengths, so a
+// candidate series with duplicated values cannot eat the budget
+// with copies of the same length.
+// ---------------------------------------------------------------
+
+TEST(DistinctLengths, FirstIndexPerValue)
+{
+    auto idx = CorrelationScreen::distinctLengthIndices(
+        {4, 8, 8, 16});
+    EXPECT_EQ(idx, (std::vector<unsigned>{0, 1, 3}));
+    EXPECT_EQ(CorrelationScreen::distinctLengthIndices({7, 7, 7}),
+              (std::vector<unsigned>{0}));
+    EXPECT_TRUE(CorrelationScreen::distinctLengthIndices({}).empty());
+}
+
+TEST(DistinctLengths, BudgetCountsDistinctValues)
+{
+    // A series with duplicates: two branches of the search space
+    // share length 8. The kept set must never contain two indices
+    // referencing the same length value, and the maxLengths budget
+    // must buy that many *distinct* lengths.
+    std::vector<unsigned> lengths = {4, 8, 8, 16};
+    BranchProfileEntry entry;
+    entry.executions = 400;
+    entry.takenCount = 200;
+    entry.byLength.resize(lengths.size(), HashedSampleTable(8));
+    Rng rng(91);
+    for (auto &t : entry.byLength)
+        for (unsigned k = 0; k < 64; ++k)
+            t.record(static_cast<uint8_t>(rng.nextBelow(256)),
+                     rng.nextBool(0.5));
+
+    ScreenConfig cfg;
+    cfg.maxLengths = 3;
+    BranchScreen scr =
+        CorrelationScreen(cfg).screenBranch(entry, lengths);
+    ASSERT_FALSE(scr.lengthIdx.empty());
+    EXPECT_LE(scr.lengthIdx.size(), 3u);
+    std::set<unsigned> values;
+    for (unsigned idx : scr.lengthIdx) {
+        ASSERT_LT(idx, lengths.size());
+        EXPECT_TRUE(values.insert(lengths[idx]).second)
+            << "duplicate length " << lengths[idx];
+    }
+    // All three distinct values fit the budget of 3.
+    EXPECT_EQ(values.size(), 3u);
+
+    // Screening disabled: same dedup applies to the passthrough.
+    ScreenConfig off;
+    off.enabled = false;
+    BranchScreen raw =
+        CorrelationScreen(off).screenBranch(entry, lengths);
+    EXPECT_EQ(raw.lengthIdx, (std::vector<unsigned>{0, 1, 3}));
 }
 
 TEST(HashedSampleTable, OracleAndMerge)

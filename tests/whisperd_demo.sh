@@ -104,6 +104,31 @@ grep -q "whisperd service metrics" "$WORK_DIR/whisperd.txt"
 # drifted input (the continuous-PGO payoff).
 grep -q "online wins or ties" "$WORK_DIR/whisperd.txt"
 
+# Training-knob phase: with the default --train-prune=on
+# --warm-start=on the summary must expose the warm/cold training
+# stats and per-branch train-time...
+grep -q "whisperd: training warm-hits=" "$WORK_DIR/whisperd.txt"
+BR_MS=$(sed -n 's/.*branch-train-ms=\([0-9.]*\).*/\1/p' \
+    "$WORK_DIR/whisperd.txt" | head -n 1)
+awk -v ms="$BR_MS" 'BEGIN { exit !(ms > 0) }'
+# ...and turning both knobs off must produce a purely cold run:
+# zero warm hits, every considered branch a cold search.
+"$BIN_DIR/whisperd" --chunks "$WORK_DIR/chunks" \
+    --out "$WORK_DIR/online_cold.vhints" \
+    --train-prune=off --warm-start=off \
+    --chunk-records 40000 --epoch-chunks 3 \
+    --workers 4 --shards 2 --max-hard 256 \
+    > "$WORK_DIR/whisperd_cold.txt" 2>&1
+cat "$WORK_DIR/whisperd_cold.txt"
+grep -q "whisperd: training warm-hits=0 " "$WORK_DIR/whisperd_cold.txt"
+COLD_SEARCHES=$(sed -n \
+    's/.*training warm-hits=0 cold-searches=\([0-9]*\).*/\1/p' \
+    "$WORK_DIR/whisperd_cold.txt")
+[ "$COLD_SEARCHES" -ge 1 ]
+COLD_BR_MS=$(sed -n 's/.*branch-train-ms=\([0-9.]*\).*/\1/p' \
+    "$WORK_DIR/whisperd_cold.txt" | head -n 1)
+awk -v ms="$COLD_BR_MS" 'BEGIN { exit !(ms > 0) }'
+
 # Crash-recovery phase: rerun on the same journal, kill -9 the
 # daemon mid-run, tear the journal tail, and check the restarted
 # daemon resumes from the last durable epoch instead of epoch 0.

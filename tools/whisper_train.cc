@@ -39,9 +39,29 @@ usage()
         "  --fraction F        randomized-testing fraction "
         "(default 0.01)\n"
         "  --max-hard N        hard-branch cap (default 2048)\n"
+        "  --train-prune on|off sparse-correlation screening of the "
+        "search space (default off:\n"
+        "                      the offline tool reproduces the "
+        "paper's exhaustive scan)\n"
+        "  --warm-hints FILE   warm-start the search from a "
+        "previously trained bundle\n"
         "  --profile-out FILE  also save the collected profile\n"
         "  --verbose           per-hint report\n");
     std::exit(2);
+}
+
+bool
+parseOnOff(const std::string &value, bool *out)
+{
+    if (value == "on" || value == "1" || value == "true") {
+        *out = true;
+        return true;
+    }
+    if (value == "off" || value == "0" || value == "false") {
+        *out = false;
+        return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -50,11 +70,12 @@ int
 main(int argc, char **argv)
 {
     guardStdio();
-    std::string tracePath, outPath, profileOut;
+    std::string tracePath, outPath, profileOut, warmPath;
     unsigned tageKb = 64;
     double fraction = -1.0;
     unsigned maxHard = 2048;
     bool verbose = false;
+    bool trainPrune = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -73,6 +94,15 @@ main(int argc, char **argv)
             fraction = std::atof(next());
         else if (arg == "--max-hard")
             maxHard = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--train-prune" ||
+                 arg.rfind("--train-prune=", 0) == 0) {
+            std::string v = arg == "--train-prune"
+                ? std::string(next())
+                : arg.substr(sizeof("--train-prune=") - 1);
+            if (!parseOnOff(v, &trainPrune))
+                usage();
+        } else if (arg == "--warm-hints")
+            warmPath = next();
         else if (arg == "--profile-out")
             profileOut = next();
         else if (arg == "--verbose")
@@ -115,13 +145,28 @@ main(int argc, char **argv)
         std::printf("  profile saved to %s\n", profileOut.c_str());
     }
 
+    HintBundle warmBundle;
+    bool haveWarm = false;
+    if (!warmPath.empty()) {
+        if (IoStatus st = loadHintBundle(warmBundle, warmPath); !st) {
+            std::fprintf(stderr, "error: %s\n", st.message.c_str());
+            return 1;
+        }
+        haveWarm = true;
+    }
+
     std::printf("training (randomized formula testing, %.2f%% of "
-                "formulas)...\n",
-                100.0 * cfg.whisper.formulaFraction);
+                "formulas%s%s)...\n",
+                100.0 * cfg.whisper.formulaFraction,
+                trainPrune ? ", sparse-correlation pruned" : "",
+                haveWarm ? ", warm-started" : "");
     WhisperTrainer trainer(cfg.whisper, globalTruthTables());
+    if (trainPrune)
+        trainer.setScreen(ScreenConfig{});
     TrainingStats stats;
     HintBundle bundle;
-    bundle.hints = trainer.train(profile, &stats);
+    bundle.hints = trainer.train(
+        profile, haveWarm ? &warmBundle.hints : nullptr, &stats);
 
     HintInjector injector(cfg.injector);
     bundle.placements = injector.place(source, bundle.hints);
@@ -133,9 +178,12 @@ main(int argc, char **argv)
                      outPath.c_str());
         return 1;
     }
-    std::printf("  %zu hints (%.2fs, %llu formulas scored) -> %s\n",
+    std::printf("  %zu hints (%.2fs, %llu formulas scored, "
+                "%llu warm hits / %llu cold searches) -> %s\n",
                 bundle.hints.size(), stats.trainSeconds,
                 static_cast<unsigned long long>(stats.formulasScored),
+                static_cast<unsigned long long>(stats.warmHits),
+                static_cast<unsigned long long>(stats.coldSearches),
                 outPath.c_str());
     std::printf("  expected on-profile reduction: %.1f%% of covered "
                 "mispredictions; dynamic hint overhead %.2f%%\n",

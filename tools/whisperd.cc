@@ -91,6 +91,10 @@ usage()
         "repeatable)\n"
         "  --dispatchers N      training dispatcher threads "
         "(default 1)\n"
+        "  --train-prune=on|off sparse-correlation screening of "
+        "the formula search (default on)\n"
+        "  --warm-start=on|off  seed each epoch from the deployed "
+        "bundle (default on)\n"
         "  --fault-spec SPEC    deterministic fault injection "
         "(e.g. flip-chunks=0.01,stall-worker)\n"
         "  --deadline-ms N      training task deadline before "
@@ -144,6 +148,22 @@ evalBundleAccuracy(const BranchTrace &trace, unsigned tageKb,
 
 } // namespace
 
+/** Parse an "on"/"off" value (for --train-prune / --warm-start,
+ * accepted both as "--flag on" and "--flag=on"). */
+bool
+parseOnOff(const std::string &value, bool *out)
+{
+    if (value == "on" || value == "1" || value == "true") {
+        *out = true;
+        return true;
+    }
+    if (value == "off" || value == "0" || value == "false") {
+        *out = false;
+        return true;
+    }
+    return false;
+}
+
 /** Parse "[APP=]N": a bare number applies to every tenant, an
  * APP=N pair to one. @return false on a malformed value. */
 bool
@@ -196,6 +216,10 @@ buildRouterConfig(const WhisperdConfig &cfg, const TenantArgs &args)
     tcfg.journalDir = args.journalDir;
     tcfg.trainTaskDeadlineMs = cfg.trainTaskDeadlineMs;
     tcfg.trainMaxAttempts = cfg.trainMaxAttempts;
+    tcfg.trainPrune = cfg.trainPrune;
+    tcfg.screen = cfg.screen;
+    tcfg.warmStart = cfg.warmStart;
+    tcfg.warmFallbackMargin = cfg.warmFallbackMargin;
     tcfg.defaultQuota = args.defaultQuota;
     tcfg.autoRegister = args.tenantsArg == "auto";
     return tcfg;
@@ -243,7 +267,9 @@ reportTenants(TenantRouter &router, const std::string &outDir)
         std::printf(
             "whisperd[%s]: epochs=%llu accepted=%llu rejected=%llu "
             "deployed-epoch=%llu resumed-epoch=%llu "
-            "dropped-chunks=%llu dropped-jobs=%llu\n",
+            "dropped-chunks=%llu dropped-jobs=%llu "
+            "train-s-mean=%.3f warm-hits=%llu cold-searches=%llu "
+            "warm-fallbacks=%llu branch-train-ms=%.3f\n",
             app.c_str(),
             static_cast<unsigned long long>(tm.epochsRun),
             static_cast<unsigned long long>(tm.bundlesAccepted),
@@ -251,7 +277,12 @@ reportTenants(TenantRouter &router, const std::string &outDir)
             static_cast<unsigned long long>(tm.deployedEpoch),
             static_cast<unsigned long long>(tm.journalResumedEpoch),
             static_cast<unsigned long long>(tm.chunksDropped),
-            static_cast<unsigned long long>(tm.trainJobsDropped));
+            static_cast<unsigned long long>(tm.trainJobsDropped),
+            tm.trainLatencyMean,
+            static_cast<unsigned long long>(tm.warmHits),
+            static_cast<unsigned long long>(tm.coldSearches),
+            static_cast<unsigned long long>(tm.warmFallbackEpochs),
+            tm.branchTrainMsMean);
     }
     metrics.dump(std::cout);
 
@@ -502,7 +533,21 @@ main(int argc, char **argv)
             retryAfterMs = static_cast<uint32_t>(std::atoi(next()));
         else if (arg == "--idle-timeout-ms")
             idleTimeoutMs = static_cast<uint32_t>(std::atoi(next()));
-        else if (arg == "--fault-spec")
+        else if (arg == "--train-prune" ||
+                 arg.rfind("--train-prune=", 0) == 0) {
+            std::string v = arg == "--train-prune"
+                ? std::string(next())
+                : arg.substr(sizeof("--train-prune=") - 1);
+            if (!parseOnOff(v, &cfg.trainPrune))
+                usage();
+        } else if (arg == "--warm-start" ||
+                   arg.rfind("--warm-start=", 0) == 0) {
+            std::string v = arg == "--warm-start"
+                ? std::string(next())
+                : arg.substr(sizeof("--warm-start=") - 1);
+            if (!parseOnOff(v, &cfg.warmStart))
+                usage();
+        } else if (arg == "--fault-spec")
             faultSpec = next();
         else if (arg == "--deadline-ms")
             cfg.trainTaskDeadlineMs =
@@ -577,6 +622,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(store.rejected()),
                 static_cast<unsigned long long>(store.epoch()));
     const ServiceMetrics &sm = daemon.metrics();
+    std::printf(
+        "whisperd: training warm-hits=%llu cold-searches=%llu "
+        "warm-fallbacks=%llu branch-train-ms=%.3f\n",
+        static_cast<unsigned long long>(sm.warmHits),
+        static_cast<unsigned long long>(sm.coldSearches),
+        static_cast<unsigned long long>(sm.warmFallbackEpochs),
+        sm.branchTrainMs.mean());
     std::printf(
         "whisperd: faults skipped-chunks=%llu skipped-records=%llu "
         "retries=%llu requeued-tasks=%llu degraded-branches=%llu "
